@@ -1,0 +1,80 @@
+// Command zivreport converts the text output of `zivsim -fig ...` into
+// GitHub-flavoured markdown tables, for pasting into EXPERIMENTS.md or
+// issue reports.
+//
+//	zivsim -fig all > results.txt
+//	zivreport results.txt > results.md
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: zivreport <results.txt>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zivreport:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := convert(f, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "zivreport:", err)
+		os.Exit(1)
+	}
+}
+
+// convert renders zivsim table output from r as markdown onto w.
+func convert(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cols []string
+	inTable := false
+	var notes []string
+	flushNotes := func() {
+		if len(notes) > 0 {
+			fmt.Fprintln(w)
+			for _, n := range notes {
+				fmt.Fprintf(w, "- %s\n", n)
+			}
+			notes = notes[:0]
+		}
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "== ") && strings.HasSuffix(line, " =="):
+			flushNotes()
+			title := strings.TrimSuffix(strings.TrimPrefix(line, "== "), " ==")
+			fmt.Fprintf(w, "\n### %s\n\n", title)
+			inTable = true
+			cols = nil
+		case inTable && cols == nil && strings.TrimSpace(line) != "":
+			cols = strings.Fields(line)
+			fmt.Fprintf(w, "| %s | %s |\n", "configuration", strings.Join(cols, " | "))
+			fmt.Fprintf(w, "|%s\n", strings.Repeat("---|", len(cols)+1))
+		case strings.HasPrefix(line, "note: "):
+			notes = append(notes, strings.TrimPrefix(line, "note: "))
+		case strings.HasPrefix(line, "("):
+			inTable = false
+			flushNotes()
+		case inTable && strings.TrimSpace(line) != "":
+			fields := strings.Fields(line)
+			if len(fields) <= len(cols) {
+				// Label may contain no spaces in our tables; values follow.
+				continue
+			}
+			label := strings.Join(fields[:len(fields)-len(cols)], " ")
+			fmt.Fprintf(w, "| %s | %s |\n", label, strings.Join(fields[len(fields)-len(cols):], " | "))
+		}
+	}
+	flushNotes()
+	return sc.Err()
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConvert(t *testing.T) {
+	in := `== Fig. X — demo ==
+                          256KB       512KB
+I-LRU                    1.0000      1.1000
+ZIV-LikelyDead           1.0100      1.2000
+note: a range note
+(figX in 1s)
+`
+	var out strings.Builder
+	if err := convert(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"### Fig. X — demo",
+		"| configuration | 256KB | 512KB |",
+		"| I-LRU | 1.0000 | 1.1000 |",
+		"| ZIV-LikelyDead | 1.0100 | 1.2000 |",
+		"- a range note",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in output:\n%s", want, got)
+		}
+	}
+}
+
+func TestConvertEmpty(t *testing.T) {
+	var out strings.Builder
+	if err := convert(strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("empty input produced output: %q", out.String())
+	}
+}
+
+func TestConvertMultipleTables(t *testing.T) {
+	in := `== A ==
+      c1
+r1   1.0
+(a in 1s)
+
+== B ==
+      c1      c2
+r2   2.0     3.0
+(b in 1s)
+`
+	var out strings.Builder
+	if err := convert(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "### A") || !strings.Contains(got, "### B") {
+		t.Fatalf("missing sections:\n%s", got)
+	}
+	if !strings.Contains(got, "| r2 | 2.0 | 3.0 |") {
+		t.Fatalf("second table mis-parsed:\n%s", got)
+	}
+}

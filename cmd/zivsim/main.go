@@ -1,0 +1,113 @@
+// Command zivsim runs the paper-reproduction experiments: one experiment per
+// figure of the ZIV paper's evaluation (Figs. 1-4 and 8-19).
+//
+// Examples:
+//
+//	zivsim -list                 # show available experiments
+//	zivsim -fig fig8             # reproduce Fig. 8 at laptop scale
+//	zivsim -fig all -csv         # everything, CSV output
+//	zivsim -fig fig11 -scale 1 -mixes 36 -homo 36   # paper-fidelity run
+//	zivsim -config               # print the simulated machine (Table I)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"zivsim/internal/harness"
+	"zivsim/internal/hierarchy"
+)
+
+func main() {
+	var (
+		figID     = flag.String("fig", "", "experiment to run (fig1..fig19, or 'all')")
+		list      = flag.Bool("list", false, "list available experiments")
+		showCfg   = flag.Bool("config", false, "print the simulated machine configuration (Table I)")
+		scale     = flag.Int("scale", 8, "capacity divisor for every cache (1 = paper's full-size machine)")
+		cores     = flag.Int("cores", 8, "core count for multi-programmed experiments")
+		hetero    = flag.Int("mixes", 4, "number of heterogeneous mixes (paper: 36)")
+		homo      = flag.Int("homo", 4, "number of homogeneous mixes (paper: 36)")
+		warmup    = flag.Int("warmup", 30000, "warm-up references per core")
+		refs      = flag.Int("refs", 120000, "measured references per core")
+		tpceCores = flag.Int("tpce-cores", 32, "core count for the TPC-E experiment (paper: 128)")
+		seed      = flag.Uint64("seed", 20210614, "deterministic seed")
+		par       = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		paper     = flag.Bool("paper", false, "paper-fidelity options (slow; overrides scale/mixes/refs)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *showCfg {
+		printConfig(*cores, *scale)
+		return
+	}
+	if *figID == "" {
+		fmt.Fprintln(os.Stderr, "usage: zivsim -fig <id>|all  (see -list)")
+		os.Exit(2)
+	}
+
+	opt := harness.DefaultOptions()
+	if *paper {
+		opt = harness.PaperOptions()
+	} else {
+		opt.Scale = *scale
+		opt.Cores = *cores
+		opt.HeteroMixes = *hetero
+		opt.HomoMixes = *homo
+		opt.Warmup = *warmup
+		opt.Measure = *refs
+		opt.TPCECores = *tpceCores
+		opt.Seed = *seed
+	}
+	opt.Parallelism = *par
+
+	var toRun []harness.Experiment
+	if *figID == "all" {
+		toRun = harness.Experiments()
+	} else {
+		e, ok := harness.ByID(*figID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "zivsim: unknown experiment %q (see -list)\n", *figID)
+			os.Exit(2)
+		}
+		toRun = []harness.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		tab := e.Run(opt)
+		if *csv {
+			fmt.Print(tab.CSV())
+		} else {
+			fmt.Print(tab.Format())
+			fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+// printConfig echoes the simulated machine parameters (the paper's Table I)
+// for each L2 configuration.
+func printConfig(cores, scale int) {
+	fmt.Printf("Simulated CMP (scale 1/%d of the paper's machine)\n\n", scale)
+	for _, l2 := range []int{256 << 10, 512 << 10, 768 << 10} {
+		cfg := hierarchy.DefaultConfig(cores, l2, scale)
+		fmt.Printf("L2 %dKB configuration:\n", l2>>10)
+		fmt.Printf("  cores:            %d (x86-like trace-driven, 4 GHz)\n", cfg.Cores)
+		fmt.Printf("  L1D:              %d KB, %d-way, LRU, %d-cycle\n", cfg.L1Bytes>>10, cfg.L1Ways, cfg.L1Latency)
+		fmt.Printf("  L2:               %d KB, %d-way, LRU, %d-cycle\n", cfg.L2Bytes>>10, cfg.L2Ways, cfg.L2Latency)
+		fmt.Printf("  LLC:              %d MB total, %d banks, %d-way, tag %d + data %d cycles\n",
+			cfg.LLCBytes>>20, cfg.LLCBanks, cfg.LLCWays, cfg.LLCTagLat, cfg.LLCDataLat)
+		fmt.Printf("  sparse directory: %.2gx, %d-way, NRU\n", cfg.DirFactor, cfg.DirWays)
+		fmt.Printf("  relocated access: +%d cycles\n", cfg.RelocAccessDelta)
+		fmt.Printf("  memory:           %d ch DDR3-2133, %d ranks, %d banks, %dB rows\n\n",
+			cfg.Mem.Channels, cfg.Mem.Ranks, cfg.Mem.Banks, cfg.Mem.RowBytes)
+	}
+}

@@ -1,0 +1,133 @@
+// Command zivtrace inspects the synthetic workload generators: it prints
+// reference samples and footprint/locality statistics for any application
+// archetype or multi-threaded workload, which is useful when tuning or
+// validating the workload substitution documented in DESIGN.md §4.
+//
+// Examples:
+//
+//	zivtrace -list
+//	zivtrace -app circ.llc.a -n 20
+//	zivtrace -app circ.llc.a -stats -n 200000
+//	zivtrace -mt applu -threads 8 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zivsim/internal/trace"
+	"zivsim/internal/workload"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list archetypes")
+		app     = flag.String("app", "", "application archetype to inspect")
+		mt      = flag.String("mt", "", "multi-threaded workload to inspect")
+		threads = flag.Int("threads", 8, "threads for -mt")
+		n       = flag.Int("n", 10, "references to emit (or analyze with -stats)")
+		stats   = flag.Bool("stats", false, "print footprint/locality statistics instead of raw references")
+		l2KB    = flag.Int("l2", 256, "per-core L2 KB the footprints scale against")
+		shareKB = flag.Int("share", 1024, "per-core LLC share KB the footprints scale against")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("application archetypes:")
+		for _, name := range workload.AppNames() {
+			fmt.Println("  " + name)
+		}
+		fmt.Println("multi-threaded workloads:")
+		for _, name := range workload.MTNames() {
+			fmt.Println("  " + name)
+		}
+		return
+	}
+
+	p := workload.Params{
+		L2Bytes:       uint64(*l2KB) << 10,
+		LLCShareBytes: uint64(*shareKB) << 10,
+		BaseL2Bytes:   uint64(*l2KB) << 10,
+	}
+
+	switch {
+	case *app != "":
+		a, ok := workload.AppByName(*app)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "zivtrace: unknown app %q\n", *app)
+			os.Exit(2)
+		}
+		g := a.Build(0, *seed, p)
+		if *stats {
+			printStats(a.Name, g, *n)
+		} else {
+			dump(g, *n)
+		}
+	case *mt != "":
+		w, ok := workload.MTByName(*mt)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "zivtrace: unknown MT workload %q\n", *mt)
+			os.Exit(2)
+		}
+		gens := w.Build(*threads, p, *seed)
+		if *stats {
+			for t, g := range gens {
+				printStats(fmt.Sprintf("%s[thread %d]", w.Name, t), g, *n)
+			}
+		} else {
+			for t, g := range gens {
+				fmt.Printf("-- thread %d --\n", t)
+				dump(g, *n)
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: zivtrace -app <name> | -mt <name>  (see -list)")
+		os.Exit(2)
+	}
+}
+
+func dump(g trace.Generator, n int) {
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		kind := "R"
+		if r.Write {
+			kind = "W"
+		}
+		fmt.Printf("%6d  pc=%#06x  %s addr=%#012x  gap=%d\n", i, r.PC, kind, r.Addr, r.Gap)
+	}
+}
+
+func printStats(name string, g trace.Generator, n int) {
+	if n < 1000 {
+		n = 100000
+	}
+	blocks := map[uint64]int{}
+	writes := 0
+	gaps := 0
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		blocks[r.Addr/64]++
+		if r.Write {
+			writes++
+		}
+		gaps += int(r.Gap)
+	}
+	reused := 0
+	maxTouch := 0
+	for _, c := range blocks {
+		if c > 1 {
+			reused++
+		}
+		if c > maxTouch {
+			maxTouch = c
+		}
+	}
+	fmt.Printf("%s over %d refs:\n", name, n)
+	fmt.Printf("  footprint:     %d blocks (%.1f KB)\n", len(blocks), float64(len(blocks))*64/1024)
+	fmt.Printf("  reused blocks: %d (%.1f%%), hottest touched %d times\n",
+		reused, 100*float64(reused)/float64(len(blocks)), maxTouch)
+	fmt.Printf("  write frac:    %.2f\n", float64(writes)/float64(n))
+	fmt.Printf("  mean gap:      %.1f non-memory instructions\n", float64(gaps)/float64(n))
+}

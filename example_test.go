@@ -1,0 +1,32 @@
+package zivsim_test
+
+import (
+	"fmt"
+
+	"zivsim"
+)
+
+// Example demonstrates the zero-inclusion-victim guarantee: a ZIV machine
+// runs a conflict-heavy mix and reports exactly zero inclusion victims.
+func Example() {
+	cfg := zivsim.DefaultConfig(4, 256<<10, 64) // 4 cores, tiny 1/64-scale machine
+	cfg.Scheme = zivsim.SchemeZIV
+	cfg.Property = zivsim.PropLikelyDead
+
+	mix := zivsim.Mix{Name: "demo", Apps: []string{
+		"hot.fit.a", "circ.llc.a", "stream.a", "rand.a",
+	}}
+	p := zivsim.Params{
+		L2Bytes:       uint64(cfg.L2Bytes),
+		LLCShareBytes: uint64(cfg.LLCBytes / 4),
+		BaseL2Bytes:   uint64(cfg.L2Bytes),
+	}
+	m := zivsim.NewMachine(cfg, zivsim.BuildMix(mix, p, 1), 2000, 8000)
+	m.Run()
+
+	fmt.Println("inclusion victims:", m.InclusionVictimTotal())
+	fmt.Println("relocations happened:", m.LLC().Stats.Relocations > 0)
+	// Output:
+	// inclusion victims: 0
+	// relocations happened: true
+}

@@ -1,0 +1,58 @@
+// Mtscale: runs the TPC-E-like multi-threaded workload across core counts
+// (8 to 64) with the ZIV LLC and the inclusive/non-inclusive baselines,
+// showing that the zero-inclusion-victim guarantee and its performance hold
+// as the machine scales — the paper's 128-core scalability argument
+// (§V-B).
+package main
+
+import (
+	"fmt"
+
+	"zivsim"
+	"zivsim/internal/workload"
+)
+
+func main() {
+	const (
+		scale   = 8
+		warmup  = 10_000
+		measure = 40_000
+		seed    = 3
+	)
+
+	fmt.Printf("%-7s %-14s %14s %18s %14s\n", "cores", "design", "LLC misses", "inclusion victims", "aggregate IPC")
+	for _, cores := range []int{8, 16, 32, 64} {
+		l2 := 128 << 10
+		llc := cores * (256 << 10) // per-core LLC share of 256 KB, as the paper's TPC-E setup
+		var base float64
+		for _, design := range []struct {
+			name string
+			mut  func(*zivsim.Config)
+		}{
+			{"inclusive", func(c *zivsim.Config) {}},
+			{"non-inclusive", func(c *zivsim.Config) { c.Mode = zivsim.NonInclusive }},
+			{"ZIV(LikelyDead)", func(c *zivsim.Config) {
+				c.Scheme = zivsim.SchemeZIV
+				c.Property = zivsim.PropLikelyDead
+			}},
+		} {
+			cfg := zivsim.DefaultConfig(cores, l2, scale)
+			cfg.LLCBytes = llc / scale
+			design.mut(&cfg)
+			w, _ := workload.MTByName("tpce")
+			p := zivsim.Params{
+				L2Bytes:       uint64(cfg.L2Bytes),
+				LLCShareBytes: uint64(cfg.LLCBytes / cores),
+				BaseL2Bytes:   uint64(cfg.L2Bytes),
+			}
+			m := zivsim.NewMachine(cfg, w.Build(cores, p, seed), warmup, measure)
+			m.Run()
+			ipc := zivsim.Throughput(m.CoreStats())
+			if design.name == "inclusive" {
+				base = ipc
+			}
+			fmt.Printf("%-7d %-14s %14d %18d %10.4f (%.3fx)\n",
+				cores, design.name, m.LLC().Stats.Misses, m.InclusionVictimTotal(), ipc, ipc/base)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Policysweep: compares the LLC replacement policies (LRU, Hawkeye, and the
+// offline MIN oracle) on the same mix, reporting LLC misses and — the
+// paper's Fig. 2 observation — how many inclusion victims each generates.
+// Policies that approach MIN's decisions victimize recently used blocks in
+// circular patterns, and recently used blocks are exactly the ones resident
+// in the private caches.
+package main
+
+import (
+	"fmt"
+
+	"zivsim"
+)
+
+func main() {
+	const (
+		cores   = 8
+		l2      = 512 << 10
+		scale   = 8
+		warmup  = 20_000
+		measure = 80_000
+		seed    = 5
+	)
+
+	mix := zivsim.Mix{Name: "sweep", Apps: []string{
+		"circ.llc.a", "circ.llc.b", "circ.llc.c", "wset.llc.a",
+		"hot.fit.a", "hot.mid.a", "stream.a", "rand.a",
+	}}
+
+	fmt.Printf("%-10s %12s %12s %18s %14s\n", "policy", "LLC misses", "LLC hits", "inclusion victims", "aggregate IPC")
+	for _, pol := range []zivsim.PolicyKind{zivsim.PolicyLRU, zivsim.PolicyHawkeye, zivsim.PolicyMIN} {
+		cfg := zivsim.DefaultConfig(cores, l2, scale)
+		cfg.Policy = pol
+		p := zivsim.Params{
+			L2Bytes:       uint64(cfg.L2Bytes),
+			LLCShareBytes: uint64(cfg.LLCBytes / cores),
+			BaseL2Bytes:   uint64(cfg.L2Bytes),
+		}
+		m := zivsim.NewMachine(cfg, zivsim.BuildMix(mix, p, seed), warmup, measure)
+		m.Run()
+		fmt.Printf("%-10v %12d %12d %18d %14.4f\n",
+			pol, m.LLC().Stats.Misses, m.LLC().Stats.Hits,
+			m.InclusionVictimTotal(), zivsim.Throughput(m.CoreStats()))
+	}
+
+	fmt.Println("\nMIN (and Hawkeye, which learns from it) trades inclusion victims for")
+	fmt.Println("hit rate: better replacement decisions victimize recently used blocks,")
+	fmt.Println("which are privately cached — the paper's motivation for the ZIV design.")
+}

@@ -1,0 +1,58 @@
+// Quickstart: build two 8-core machines — a baseline inclusive LLC and a ZIV
+// LLC — run the same multi-programmed mix on both, and compare inclusion
+// victims and performance. This is the smallest end-to-end use of the public
+// API.
+package main
+
+import (
+	"fmt"
+
+	"zivsim"
+)
+
+func main() {
+	const (
+		cores   = 8
+		l2      = 512 << 10 // per-core L2: half the per-core LLC share
+		scale   = 8         // 1/8-scale machine: runs in seconds
+		warmup  = 20_000
+		measure = 80_000
+		seed    = 42
+	)
+
+	// A heterogeneous mix: cache-fitting applications next to LLC-thrashing
+	// ones — the combination that makes inclusion victims expensive.
+	mix := zivsim.Mix{Name: "quickstart", Apps: []string{
+		"hot.fit.a", "hot.mid.a", "wset.llc.a", "circ.llc.a",
+		"circ.llc.b", "stream.a", "rand.a", "ptr.b",
+	}}
+
+	run := func(label string, cfg zivsim.Config) []zivsim.CoreStats {
+		p := zivsim.Params{
+			L2Bytes:       uint64(cfg.L2Bytes),
+			LLCShareBytes: uint64(cfg.LLCBytes / cores),
+			BaseL2Bytes:   uint64(cfg.L2Bytes),
+		}
+		m := zivsim.NewMachine(cfg, zivsim.BuildMix(mix, p, seed), warmup, measure)
+		m.Run()
+		fmt.Printf("%-28s inclusion victims: %7d   LLC misses: %7d   relocations: %d\n",
+			label, m.InclusionVictimTotal(), m.LLC().Stats.Misses, m.LLC().Stats.Relocations)
+		return m.CoreStats()
+	}
+
+	// Baseline: inclusive LLC, Hawkeye replacement.
+	base := zivsim.DefaultConfig(cores, l2, scale)
+	base.Policy = zivsim.PolicyHawkeye
+	baseStats := run("inclusive Hawkeye", base)
+
+	// ZIV: same machine, relocation with the MRLikelyDead property.
+	ziv := base
+	ziv.Scheme = zivsim.SchemeZIV
+	ziv.Property = zivsim.PropMaxRRPVLikelyDead
+	zivStats := run("ZIV(MRLikelyDead) Hawkeye", ziv)
+
+	fmt.Printf("\nweighted speedup of ZIV over the inclusive baseline: %.3f\n",
+		zivsim.WeightedSpeedup(zivStats, baseStats))
+	fmt.Println("the ZIV machine reports zero inclusion victims by construction —")
+	fmt.Println("its LLC never evicts a block that is resident in any private cache.")
+}

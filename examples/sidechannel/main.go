@@ -1,0 +1,65 @@
+// Sidechannel: demonstrates the isolation property that motivates the ZIV
+// design from the security angle (paper §I-A). An attacker core floods the
+// shared LLC with conflict traffic, which — in a conventional inclusive LLC
+// — back-invalidates the victim core's private-cache lines, making the
+// victim's secret-dependent accesses visible as misses (the basis of
+// eviction-based timing side channels). The ZIV LLC never generates
+// inclusion victims, so the attacker loses its lever over the victim's
+// private caches.
+//
+// The demo measures the victim's private-cache misses on its hot
+// (secret-dependent) region under both designs.
+package main
+
+import (
+	"fmt"
+
+	"zivsim"
+)
+
+func main() {
+	const (
+		cores   = 2
+		scale   = 8
+		warmup  = 20_000
+		measure = 100_000
+	)
+
+	build := func(cfg zivsim.Config) []zivsim.Generator {
+		llcShare := uint64(cfg.LLCBytes)
+		// Victim (core 0): a small secret-dependent table, hot in its
+		// private caches, plus light background traffic.
+		victim := zivsim.NewHot(1<<40, uint64(cfg.L2Bytes)/2, llcShare, 0.95, 0.2, 6, 7)
+		// Attacker (core 1): sweeps an eviction buffer larger than the LLC,
+		// forcing constant LLC replacement in every set.
+		attacker := zivsim.NewCircular(2<<40, 2*llcShare/64, 1, 0.0, 1, 9)
+		return []zivsim.Generator{
+			zivsim.Translate(victim, 99),
+			zivsim.Translate(attacker, 99),
+		}
+	}
+
+	run := func(label string, cfg zivsim.Config) {
+		m := zivsim.NewMachine(cfg, build(cfg), warmup, measure)
+		m.Run()
+		stats := m.CoreStats()
+		v := stats[0]
+		fmt.Printf("%-24s victim L2 misses: %6d   victim inclusion victims: %6d   victim IPC: %.3f\n",
+			label, v.L2Misses, v.InclusionVictims, v.IPC())
+	}
+
+	base := zivsim.DefaultConfig(cores, 256<<10, scale)
+	base.Policy = zivsim.PolicyLRU
+	run("inclusive LLC", base)
+
+	ziv := base
+	ziv.Scheme = zivsim.SchemeZIV
+	ziv.Property = zivsim.PropLikelyDead
+	run("ZIV LLC", ziv)
+
+	fmt.Println("\nunder the inclusive LLC, the attacker's sweep invalidates the victim's")
+	fmt.Println("private lines (inclusion victims > 0): each secret-dependent access is")
+	fmt.Println("forced to miss, which is exactly the signal eviction-based side channels")
+	fmt.Println("measure. under ZIV the count is zero — the attacker cannot reach the")
+	fmt.Println("victim's core caches through LLC evictions at all.")
+}

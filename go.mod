@@ -1,0 +1,3 @@
+module zivsim
+
+go 1.22

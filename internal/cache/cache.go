@@ -1,0 +1,283 @@
+// Package cache provides the set-associative cache substrate used by every
+// level of the simulated hierarchy: address mapping, tag storage, and the
+// low-level way operations (lookup, fill, evict, invalidate) on top of which
+// the private caches and the shared LLC are built.
+//
+// The package deliberately stores only tag-array state. Data payloads are not
+// simulated; the simulator tracks dirtiness and block identity, which is all
+// the paper's metrics (misses, inclusion victims, relocations, energy events)
+// require.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"zivsim/internal/policy"
+)
+
+// BlockBits is the log2 of the simulated cache block size. The paper uses
+// 64-byte blocks throughout.
+const BlockBits = 6
+
+// BlockBytes is the simulated cache block size in bytes.
+const BlockBytes = 1 << BlockBits
+
+// BlockAddr converts a byte address to a block address.
+func BlockAddr(byteAddr uint64) uint64 { return byteAddr >> BlockBits }
+
+// Block is one tag-array entry. Payload data is not simulated.
+type Block struct {
+	Valid bool
+	Dirty bool
+	// Writable mirrors the MESI M/E privilege for private-cache lines: a
+	// store may complete locally only when the line is writable. The shared
+	// LLC ignores this field (write permission lives in the directory).
+	Writable bool
+	// Addr is the block address (byte address >> BlockBits) of the cached
+	// block. Valid only when Valid is true.
+	Addr uint64
+}
+
+// Cache is a set-associative tag store with a pluggable replacement policy.
+type Cache struct {
+	name    string
+	sets    int
+	ways    int
+	shift   uint // address bits consumed before the set index (block offset, bank bits)
+	setMask uint64
+	blocks  []Block // sets*ways, row-major by set
+	pol     policy.Policy
+
+	// Stats accumulates the event counters for this cache instance.
+	Stats Stats
+}
+
+// Stats holds per-cache event counters.
+type Stats struct {
+	Accesses    uint64
+	Hits        uint64
+	Misses      uint64
+	Fills       uint64
+	Evictions   uint64 // replacement-driven evictions of valid blocks
+	DirtyEvicts uint64
+	Invals      uint64 // externally forced invalidations (back-invals, coherence)
+}
+
+// MissRate returns misses/accesses, or 0 when no accesses were recorded.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// New builds a cache with the given geometry. sets must be a power of two and
+// ways positive. extraShift gives the number of address bits consumed below
+// the set index in addition to the block offset (e.g. bank-select bits for a
+// banked LLC); pass 0 for private caches.
+func New(name string, sets, ways, extraShift int, pol policy.Policy) *Cache {
+	if sets <= 0 || bits.OnesCount(uint(sets)) != 1 {
+		panic(fmt.Sprintf("cache %s: sets must be a positive power of two, got %d", name, sets))
+	}
+	if ways <= 0 {
+		panic(fmt.Sprintf("cache %s: ways must be positive, got %d", name, ways))
+	}
+	if extraShift < 0 {
+		panic(fmt.Sprintf("cache %s: extraShift must be non-negative, got %d", name, extraShift))
+	}
+	pol.Init(sets, ways)
+	return &Cache{
+		name:    name,
+		sets:    sets,
+		ways:    ways,
+		shift:   uint(extraShift),
+		setMask: uint64(sets - 1),
+		blocks:  make([]Block, sets*ways),
+		pol:     pol,
+	}
+}
+
+// Name returns the cache's configured name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Policy returns the replacement policy instance.
+func (c *Cache) Policy() policy.Policy { return c.pol }
+
+// SizeBytes returns the capacity of the cache in bytes.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * BlockBytes }
+
+// SetIndex maps a block address to its set index.
+func (c *Cache) SetIndex(blockAddr uint64) int {
+	return int((blockAddr >> c.shift) & c.setMask)
+}
+
+// Block returns a pointer to the tag entry at (set, way). The pointer is
+// valid until the next structural change; callers must not retain it.
+func (c *Cache) Block(set, way int) *Block {
+	return &c.blocks[set*c.ways+way]
+}
+
+// Lookup finds blockAddr without updating replacement state. It returns the
+// way and true on a hit.
+func (c *Cache) Lookup(blockAddr uint64) (way int, hit bool) {
+	set := c.SetIndex(blockAddr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		b := &c.blocks[base+w]
+		if b.Valid && b.Addr == blockAddr {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// Contains reports whether blockAddr is cached.
+func (c *Cache) Contains(blockAddr uint64) bool {
+	_, hit := c.Lookup(blockAddr)
+	return hit
+}
+
+// Access performs a full access: on a hit it updates the replacement state
+// (and dirtiness for writes) and returns the way with hit=true; on a miss it
+// only counts the miss. It never fills — the caller decides fill policy.
+func (c *Cache) Access(blockAddr uint64, write bool, m policy.Meta) (way int, hit bool) {
+	c.Stats.Accesses++
+	way, hit = c.Lookup(blockAddr)
+	if !hit {
+		c.Stats.Misses++
+		return -1, false
+	}
+	c.Stats.Hits++
+	set := c.SetIndex(blockAddr)
+	b := c.Block(set, way)
+	if write {
+		b.Dirty = true
+	}
+	c.pol.OnHit(set, way, m)
+	return way, true
+}
+
+// Touch updates replacement state for a known-resident block without counting
+// an access (used when coherence actions promote a block).
+func (c *Cache) Touch(blockAddr uint64, m policy.Meta) bool {
+	way, hit := c.Lookup(blockAddr)
+	if !hit {
+		return false
+	}
+	c.pol.OnHit(c.SetIndex(blockAddr), way, m)
+	return true
+}
+
+// InvalidWay returns an invalid way in set, or -1 when the set is full.
+func (c *Cache) InvalidWay(set int) int {
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if !c.blocks[base+w].Valid {
+			return w
+		}
+	}
+	return -1
+}
+
+// VictimRank returns the ways of set ordered best-victim-first according to
+// the replacement policy. The returned slice is owned by the policy and must
+// not be retained across calls.
+func (c *Cache) VictimRank(set int) []int {
+	return c.pol.Rank(set)
+}
+
+// Fill inserts blockAddr into its set, evicting if necessary, and returns the
+// evicted block (Valid=false when an invalid way absorbed the fill). The
+// policy's OnEvict runs for replaced valid blocks and OnFill for the
+// insertion.
+func (c *Cache) Fill(blockAddr uint64, dirty, writable bool, m policy.Meta) (victim Block) {
+	set := c.SetIndex(blockAddr)
+	way := c.InvalidWay(set)
+	if way < 0 {
+		way = c.pol.Rank(set)[0]
+		victim = *c.Block(set, way)
+		c.evictWay(set, way)
+	}
+	c.FillWay(set, way, blockAddr, dirty, writable, m)
+	return victim
+}
+
+// FillWay inserts blockAddr at an exact (set, way), which must be invalid.
+func (c *Cache) FillWay(set, way int, blockAddr uint64, dirty, writable bool, m policy.Meta) {
+	b := c.Block(set, way)
+	if b.Valid {
+		panic(fmt.Sprintf("cache %s: FillWay into valid way (set %d way %d)", c.name, set, way))
+	}
+	if got := c.SetIndex(blockAddr); got != set {
+		panic(fmt.Sprintf("cache %s: FillWay set mismatch: block %#x maps to set %d, not %d", c.name, blockAddr, got, set))
+	}
+	*b = Block{Valid: true, Dirty: dirty, Writable: writable, Addr: blockAddr}
+	c.Stats.Fills++
+	c.pol.OnFill(set, way, m)
+}
+
+// EvictWay removes the valid block at (set, way) as a replacement decision
+// and returns it. The policy's OnEvict hook runs (e.g. Hawkeye detraining).
+func (c *Cache) EvictWay(set, way int) Block {
+	b := *c.Block(set, way)
+	if !b.Valid {
+		panic(fmt.Sprintf("cache %s: EvictWay on invalid way (set %d way %d)", c.name, set, way))
+	}
+	c.evictWay(set, way)
+	return b
+}
+
+func (c *Cache) evictWay(set, way int) {
+	b := c.Block(set, way)
+	c.Stats.Evictions++
+	if b.Dirty {
+		c.Stats.DirtyEvicts++
+	}
+	c.pol.OnEvict(set, way)
+	*b = Block{}
+}
+
+// Invalidate removes blockAddr if present (an externally forced removal, not
+// a replacement decision) and returns the removed entry.
+func (c *Cache) Invalidate(blockAddr uint64) (removed Block, ok bool) {
+	way, hit := c.Lookup(blockAddr)
+	if !hit {
+		return Block{}, false
+	}
+	set := c.SetIndex(blockAddr)
+	removed = *c.Block(set, way)
+	c.Stats.Invals++
+	c.pol.OnInvalidate(set, way)
+	*c.Block(set, way) = Block{}
+	return removed, true
+}
+
+// ValidCount returns the number of valid blocks in the whole cache.
+func (c *Cache) ValidCount() int {
+	n := 0
+	for i := range c.blocks {
+		if c.blocks[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachValid calls fn for every valid block.
+func (c *Cache) ForEachValid(fn func(set, way int, b Block)) {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			b := c.blocks[s*c.ways+w]
+			if b.Valid {
+				fn(s, w, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"zivsim/internal/directory"
+	"zivsim/internal/policy"
+)
+
+// pickRS selects the next relocation set from a PV, honouring the
+// SelectLowest ablation knob.
+func (l *LLC) pickRS(bk *bank, lev level) int {
+	if l.cfg.SelectLowest {
+		return bk.pvs[lev].Lowest()
+	}
+	return bk.pvs[lev].NextRS()
+}
+
+// oraclePickRS scans up to OracleCandidates eligible relocation sets and
+// returns the one holding the NotInPrC block with the furthest next use,
+// along with that block's way (§VI future work: oracle-assisted optimal
+// relocation victim selection).
+func (l *LLC) oraclePickRS(bk *bank) (rs, way int) {
+	pv := bk.pvs[levNotInPrC]
+	n := l.cfg.OracleCandidates
+	if ones := pv.Ones(); ones < n {
+		n = ones
+	}
+	rs, way = -1, -1
+	var bestNU uint64
+	for i := 0; i < n; i++ {
+		cand := pv.NextRS()
+		if cand < 0 {
+			break
+		}
+		w, nu := l.oracleVictimIn(bk, cand)
+		if w >= 0 && (rs < 0 || nu > bestNU) {
+			rs, way, bestNU = cand, w, nu
+		}
+	}
+	return rs, way
+}
+
+// oracleVictimIn returns the NotInPrC block of (bank, set) with the furthest
+// next use, and that distance.
+func (l *LLC) oracleVictimIn(bk *bank, set int) (way int, nextUse uint64) {
+	base := set * l.cfg.Ways
+	way = -1
+	for w := 0; w < l.cfg.Ways; w++ {
+		b := &bk.blocks[base+w]
+		if !b.Valid || !b.NotInPrC {
+			continue
+		}
+		nu := l.cfg.Oracle.NextUse(b.Addr, l.oracleNow)
+		if way < 0 || nu > nextUse {
+			way, nextUse = w, nu
+		}
+	}
+	return way, nextUse
+}
+
+// zivFill runs the ZIV victim flow (paper §III, Fig. 5) for a fill into a
+// full set. If the baseline victim has no private copies it is evicted
+// normally. Otherwise the victim must be relocated: the configured priority
+// levels are walked in order, and at each level the original set is checked
+// first (avoiding relocation by picking an alternate victim in place), then
+// the level's property vector supplies a global relocation set via nextRS.
+// If every PV in the home bank is empty, one-hop-first cross-bank relocation
+// is attempted. The flow guarantees that no eviction ever generates an
+// inclusion victim.
+func (l *LLC) zivFill(bk *bank, set int, addr uint64, dirty, inPrC bool, m policy.Meta, now uint64) FillOutcome {
+	if m.Pos > l.oracleNow {
+		l.oracleNow = m.Pos
+	}
+	victim := l.worstWay(bk, set)
+	vb := &bk.blocks[set*l.cfg.Ways+victim]
+	if vb.NotInPrC {
+		// The baseline victim is not privately cached: a plain eviction is
+		// already inclusion-victim free.
+		ev := l.evictWay(bk, set, victim)
+		l.fillWay(bk, set, victim, addr, dirty, inPrC, m)
+		return FillOutcome{
+			Loc:     directory.Location{Bank: bk.id, Set: set, Way: victim},
+			Evicted: &ev,
+		}
+	}
+
+	for _, lev := range l.levels {
+		if lev == levInvalid {
+			// The original set has no invalid way (the caller checked); try
+			// the global Invalid PV.
+			if rs := l.pickRS(bk, levInvalid); rs >= 0 {
+				return l.relocate(bk, set, victim, bk, rs, -1, levInvalid, addr, dirty, inPrC, m, now)
+			}
+			continue
+		}
+		// Original set first: if it satisfies the property, no relocation is
+		// needed — the relocation set's victim-selection algorithm runs on
+		// the original set to pick a different victim (§III-D4).
+		if l.setSatisfies(bk, set, lev) {
+			alt := l.relocVictimWay(bk, set)
+			if alt < 0 {
+				panic("core: original set satisfies property but has no relocation victim")
+			}
+			ev := l.evictWay(bk, set, alt)
+			l.fillWay(bk, set, alt, addr, dirty, inPrC, m)
+			l.Stats.AlternateVictims++
+			return FillOutcome{
+				Loc:             directory.Location{Bank: bk.id, Set: set, Way: alt},
+				Evicted:         &ev,
+				AlternateVictim: true,
+			}
+		}
+		if lev == levLikelyDead && bk.pvs[levLikelyDead].Empty() && bk.thresh != nil {
+			// A relocation request found the LikelyDeadNotInPrC PV empty:
+			// ask the CHAR threshold controller to become more aggressive
+			// (§III-D6).
+			bk.thresh.OnEmptyPV()
+		}
+		if lev == levNotInPrC && l.cfg.Property == PropOracleNotInPrC {
+			if rs, w := l.oraclePickRS(bk); rs >= 0 {
+				return l.relocate(bk, set, victim, bk, rs, w, lev, addr, dirty, inPrC, m, now)
+			}
+			continue
+		}
+		if rs := l.pickRS(bk, lev); rs >= 0 {
+			return l.relocate(bk, set, victim, bk, rs, -1, lev, addr, dirty, inPrC, m, now)
+		}
+	}
+
+	// Extremely rare (§III-D1): every block in this bank is privately
+	// cached. Relocate to another bank, querying one-hop neighbours first
+	// (approximated by ring distance from the home bank). With
+	// FillCrossBank, the newly filled block goes to the other bank as a
+	// relocated block instead of moving the victim.
+	for off := 1; off < l.cfg.Banks; off++ {
+		dst := &l.banks[(bk.id+off)%l.cfg.Banks]
+		for _, lev := range l.levels {
+			if rs := l.pickRS(dst, lev); rs >= 0 {
+				if l.cfg.FillCrossBank {
+					return l.fillRelocated(bk, dst, rs, lev, addr, dirty, m, now)
+				}
+				return l.relocate(bk, set, victim, dst, rs, -1, lev, addr, dirty, inPrC, m, now)
+			}
+		}
+	}
+
+	// Last resort: the aggregate private capacity must exceed the LLC for
+	// this to happen, which violates the inclusive configuration contract.
+	if l.cfg.DebugChecks {
+		panic("core: ZIV found no relocation set anywhere — private caches exceed LLC capacity?")
+	}
+	l.Stats.ForcedInclusions++
+	ev := l.evictWay(bk, set, victim)
+	l.fillWay(bk, set, victim, addr, dirty, inPrC, m)
+	return FillOutcome{
+		Loc:     directory.Location{Bank: bk.id, Set: set, Way: victim},
+		Evicted: &ev,
+	}
+}
+
+// relocVictimWay picks the victim within a relocation set per §III-E,
+// following the configured property's priority chain. Invalid ways are
+// handled by the caller. It returns -1 when the set holds no block that can
+// be evicted without inclusion victims.
+func (l *LLC) relocVictimWay(bk *bank, set int) int {
+	order := bk.pol.Rank(set)
+	base := set * l.cfg.Ways
+	firstWhere := func(pred func(b *Block, w int) bool) int {
+		for _, w := range order {
+			b := &bk.blocks[base+w]
+			if b.Valid && pred(b, w) {
+				return w
+			}
+		}
+		return -1
+	}
+	switch l.cfg.Property {
+	case PropNotInPrC, PropLRUNotInPrC:
+		// The NotInPrC block closest to the LRU position.
+		return firstWhere(func(b *Block, _ int) bool { return b.NotInPrC })
+	case PropMaxRRPVNotInPrC:
+		// The NotInPrC block with as high an RRPV as possible (the rank
+		// order is descending RRPV).
+		return firstWhere(func(b *Block, _ int) bool { return b.NotInPrC })
+	case PropLikelyDead:
+		// LikelyDead closest to LRU, else NotInPrC closest to LRU.
+		if w := firstWhere(func(b *Block, _ int) bool { return b.LikelyDead && b.NotInPrC }); w >= 0 {
+			return w
+		}
+		return firstWhere(func(b *Block, _ int) bool { return b.NotInPrC })
+	case PropOracleNotInPrC:
+		w, _ := l.oracleVictimIn(bk, set)
+		return w
+	case PropMaxRRPVLikelyDead:
+		// NotInPrC at max RRPV (a Hawkeye cache-averse block), else
+		// LikelyDead with as high an RRPV as possible, else NotInPrC with as
+		// high an RRPV as possible.
+		max := bk.rrip.MaxRRPV()
+		if w := firstWhere(func(b *Block, w int) bool { return b.NotInPrC && bk.rrip.RRPV(set, w) == max }); w >= 0 {
+			return w
+		}
+		if w := firstWhere(func(b *Block, _ int) bool { return b.LikelyDead && b.NotInPrC }); w >= 0 {
+			return w
+		}
+		return firstWhere(func(b *Block, _ int) bool { return b.NotInPrC })
+	}
+	return -1
+}
+
+// relocate moves the privately cached victim at (home, homeSet, victimWay)
+// into the relocation set (dst, rs) chosen at priority level lev, updates
+// its sparse-directory entry to the new location, and fills the new block
+// into the freed home way. Fig. 5's full flow.
+func (l *LLC) relocate(home *bank, homeSet, victimWay int, dst *bank, rs, dstWayOverride int, lev level,
+	addr uint64, dirty, inPrC bool, m policy.Meta, now uint64) FillOutcome {
+
+	vb := home.blocks[homeSet*l.cfg.Ways+victimWay] // copy out the victim
+	reReloc := vb.Relocated
+
+	// Locate the victim's directory entry: a relocated block carries the
+	// pointer in its repurposed tag; a first-time relocation looks the entry
+	// up by block address (§III-C3).
+	var ptr directory.Ptr
+	if reReloc {
+		ptr = vb.DirPtr
+	} else {
+		_, p, ok := l.dir.Find(vb.Addr)
+		if !ok {
+			panic(fmt.Sprintf("core: relocating block %#x with no directory entry", vb.Addr))
+		}
+		ptr = p
+	}
+
+	// Remove the victim from its current location. This is not a
+	// replacement mistake (the block stays in the LLC), so the policy sees
+	// an invalidation, not an eviction.
+	home.pol.OnInvalidate(homeSet, victimWay)
+	home.blocks[homeSet*l.cfg.Ways+victimWay] = Block{}
+	home.tags[homeSet*l.cfg.Ways+victimWay] = tagNone
+
+	// Find the destination way and evict its occupant if needed.
+	var evicted *Evicted
+	var dstWay int
+	if lev == levInvalid {
+		dstWay = l.invalidWay(dst, rs)
+		if dstWay < 0 {
+			panic("core: Invalid PV pointed at a full set")
+		}
+	} else {
+		dstWay = dstWayOverride
+		if dstWay < 0 {
+			dstWay = l.relocVictimWay(dst, rs)
+		}
+		if dstWay < 0 {
+			panic(fmt.Sprintf("core: %v PV pointed at set with no eligible victim", lev))
+		}
+		ev := l.evictWay(dst, rs, dstWay)
+		if l.cfg.DebugChecks && ev.InPrC {
+			panic("core: relocation-set victim was privately cached")
+		}
+		evicted = &ev
+	}
+
+	// Install the relocated block. The insertion protects it (MRU/RRPV 0)
+	// without predictor training: a relocation is not a program access.
+	dst.blocks[rs*l.cfg.Ways+dstWay] = Block{
+		Valid:     true,
+		Dirty:     vb.Dirty,
+		Relocated: true,
+		Addr:      vb.Addr,
+		DirPtr:    ptr,
+		EvictCore: -1,
+	}
+	dst.tags[rs*l.cfg.Ways+dstWay] = tagNone // relocated blocks are invisible to lookups
+	dst.pol.Promote(rs, dstWay)
+
+	// Record the new location in the directory entry.
+	e := l.dir.At(ptr)
+	if e == nil || !e.Valid {
+		panic(fmt.Sprintf("core: relocation directory pointer %+v is stale", ptr))
+	}
+	to := directory.Location{Bank: dst.id, Set: rs, Way: dstWay}
+	e.Relocated = true
+	e.Loc = to
+
+	l.updateSet(dst, rs)
+	dst.relocTargets[rs]++
+
+	// Statistics: counts, per-level attribution, inter-relocation interval
+	// CDF and the modeled relocation-FIFO occupancy (§III-D1, Fig. 18).
+	l.Stats.Relocations++
+	l.Stats.RelocationsByLevel[lev]++
+	cross := dst.id != home.id
+	if cross {
+		l.Stats.CrossBankRelocations++
+	}
+	if reReloc {
+		l.Stats.ReRelocations++
+	}
+	if home.everRelocated {
+		delta := now - home.lastReloc
+		l.Stats.IntervalHist[intervalBucket(delta)]++
+		// The FIFO drains one relocation per ~3 cycles (the nextRS logic
+		// latency); arrivals faster than that accumulate.
+		home.fifoOcc -= float64(delta) / 3.0
+		if home.fifoOcc < 0 {
+			home.fifoOcc = 0
+		}
+	}
+	home.everRelocated = true
+	home.lastReloc = now
+	home.fifoOcc++
+	if occ := int(home.fifoOcc); occ > l.Stats.FIFOMaxOcc {
+		l.Stats.FIFOMaxOcc = occ
+	}
+
+	// Finally, fill the new block into the freed home way.
+	l.fillWay(home, homeSet, victimWay, addr, dirty, inPrC, m)
+
+	return FillOutcome{
+		Loc:     directory.Location{Bank: home.id, Set: homeSet, Way: victimWay},
+		Evicted: evicted,
+		Relocation: &Relocation{
+			Addr:         vb.Addr,
+			From:         directory.Location{Bank: home.id, Set: homeSet, Way: victimWay},
+			To:           to,
+			Level:        lev.String(),
+			CrossBank:    cross,
+			ReRelocation: reReloc,
+		},
+	}
+}
+
+// fillRelocated implements the §III-D1 cross-bank alternative: the newly
+// filled block itself is installed in the relocation set (dst, rs) in
+// Relocated state, reached through its freshly allocated directory entry;
+// the home set is left untouched. Only meaningful for privately cached
+// fills (a directory entry must exist to locate the block).
+func (l *LLC) fillRelocated(home, dst *bank, rs int, lev level, addr uint64, dirty bool, m policy.Meta, now uint64) FillOutcome {
+	_, ptr, ok := l.dir.Find(addr)
+	if !ok {
+		panic(fmt.Sprintf("core: FillCrossBank for untracked block %#x", addr))
+	}
+	var evicted *Evicted
+	var dstWay int
+	if lev == levInvalid {
+		dstWay = l.invalidWay(dst, rs)
+	} else {
+		dstWay = l.relocVictimWay(dst, rs)
+		ev := l.evictWay(dst, rs, dstWay)
+		evicted = &ev
+	}
+	dst.blocks[rs*l.cfg.Ways+dstWay] = Block{
+		Valid:     true,
+		Dirty:     dirty,
+		Relocated: true,
+		Addr:      addr,
+		DirPtr:    ptr,
+		EvictCore: -1,
+	}
+	dst.tags[rs*l.cfg.Ways+dstWay] = tagNone
+	dst.pol.Promote(rs, dstWay)
+	to := directory.Location{Bank: dst.id, Set: rs, Way: dstWay}
+	e := l.dir.At(ptr)
+	e.Relocated = true
+	e.Loc = to
+	l.updateSet(dst, rs)
+	dst.relocTargets[rs]++
+	l.Stats.Relocations++
+	l.Stats.RelocationsByLevel[lev]++
+	l.Stats.CrossBankRelocations++
+	return FillOutcome{
+		Loc:     to,
+		Evicted: evicted,
+		Relocation: &Relocation{
+			Addr:      addr,
+			From:      directory.Location{Bank: home.id},
+			To:        to,
+			Level:     lev.String(),
+			CrossBank: true,
+		},
+	}
+}
+
+// intervalBucket maps a cycle delta to its log2 histogram bucket.
+func intervalBucket(delta uint64) int {
+	b := bits.Len64(delta)
+	if b >= len(Stats{}.IntervalHist) {
+		b = len(Stats{}.IntervalHist) - 1
+	}
+	return b
+}

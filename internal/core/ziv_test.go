@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"zivsim/internal/directory"
+	"zivsim/internal/policy"
+)
+
+func TestIntervalBucket(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 1 << 20: 21}
+	for delta, want := range cases {
+		if got := intervalBucket(delta); got != want {
+			t.Errorf("intervalBucket(%d) = %d, want %d", delta, got, want)
+		}
+	}
+	if got := intervalBucket(math.MaxUint64); got != len(Stats{}.IntervalHist)-1 {
+		t.Errorf("huge delta bucket = %d, want capped", got)
+	}
+}
+
+func TestPVLowest(t *testing.T) {
+	pv := NewPV(128)
+	if pv.Lowest() != -1 {
+		t.Fatal("empty PV Lowest should be -1")
+	}
+	pv.Set(70, true)
+	pv.Set(5, true)
+	pv.Set(127, true)
+	for i := 0; i < 3; i++ {
+		if got := pv.Lowest(); got != 5 {
+			t.Fatalf("Lowest = %d, want 5 (must not advance)", got)
+		}
+	}
+	// Lowest must not disturb the round-robin register.
+	if got := pv.NextRS(); got != 5 {
+		t.Fatalf("NextRS after Lowest = %d, want 5", got)
+	}
+	if got := pv.NextRS(); got != 70 {
+		t.Fatalf("NextRS = %d, want 70", got)
+	}
+}
+
+// mkOracleLLC builds a ZIV LLC with the oracle property over a scripted
+// future stream.
+func mkOracleLLC(t *testing.T, stream []uint64) (*LLC, *directory.Directory) {
+	t.Helper()
+	dir := directory.New(directory.Config{Slices: 2, SetsPerSlice: 32, Ways: 8})
+	llc := New(Config{
+		Banks: 2, SetsPerBank: 8, Ways: 4,
+		Scheme: SchemeZIV, Property: PropOracleNotInPrC,
+		NewPolicy:   lruPol,
+		Oracle:      policy.NewStreamOracle(stream),
+		DebugChecks: true,
+	}, dir)
+	return llc, dir
+}
+
+func TestOracleRelocVictimPrefersFurthestUse(t *testing.T) {
+	// Blocks 16, 32, 48 (bank 0, set 0 with the 2-bank/8-set geometry).
+	// The driver advances the stream position by 10 per access and issues
+	// ~69 accesses before the decisive fill, so future positions must lie
+	// beyond ~700. Future uses: 32 soon (position 800), 16 later (2000),
+	// 48 never.
+	stream := make([]uint64, 2001)
+	stream[800] = 32
+	stream[2000] = 16
+	llc, dir := mkOracleLLC(t, stream)
+	d := newDriver(t, llc, dir, 64)
+	d.prefill(2, 8, 4)
+	// Fill set 0 of bank 0: one private block + three NotInPrC candidates.
+	for _, a := range []uint64{0, 16, 32, 48} {
+		d.access(0, a, 1)
+	}
+	for _, a := range []uint64{16, 32, 48} {
+		d.dropPrivate(0, a)
+	}
+	// Fill a fifth block: baseline victim (LRU) is block 0... block 0 was
+	// accessed first, so it is the LRU — and it is private, triggering the
+	// relocation path. The original set satisfies NotInPrC, so the oracle
+	// victim chain runs in place and must evict block 48 (never used again).
+	d.access(0, 64, 1)
+	if _, hit := llc.Probe(48); hit {
+		t.Fatal("oracle victim selection kept the never-reused block")
+	}
+	if _, hit := llc.Probe(16); !hit {
+		t.Fatal("oracle victim selection evicted the far-future block instead of the never-reused one")
+	}
+	if _, hit := llc.Probe(32); !hit {
+		t.Fatal("oracle victim selection evicted the near-future block")
+	}
+	d.check()
+}
+
+func TestOracleConfigValidation(t *testing.T) {
+	dir := directory.New(directory.Config{Slices: 2, SetsPerSlice: 4, Ways: 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("OracleNotInPrC without oracle did not panic")
+		}
+	}()
+	New(Config{
+		Banks: 2, SetsPerBank: 8, Ways: 4,
+		Scheme: SchemeZIV, Property: PropOracleNotInPrC,
+		NewPolicy: lruPol,
+	}, dir)
+}
+
+func TestSelectLowestConcentratesRelocations(t *testing.T) {
+	mk := func(lowest bool) *LLC {
+		dir := directory.New(directory.Config{Slices: 2, SetsPerSlice: 64, Ways: 8})
+		llc := New(Config{
+			Banks: 2, SetsPerBank: 8, Ways: 4,
+			Scheme: SchemeZIV, Property: PropNotInPrC,
+			NewPolicy:    lruPol,
+			SelectLowest: lowest,
+			DebugChecks:  true,
+		}, dir)
+		d := newDriver(t, llc, dir, 20)
+		// Repeating conflict pattern driving relocations into eligible sets.
+		for round := 0; round < 40; round++ {
+			for i := uint64(0); i < 6; i++ {
+				d.access(0, i*16, 1) // all map to bank 0, set 0
+			}
+			for i := uint64(0); i < 8; i++ {
+				a := 1 + i*16 // bank 1 traffic: creates NotInPrC spread
+				d.access(1, a, 1)
+				d.dropPrivate(1, a)
+			}
+		}
+		d.check()
+		return llc
+	}
+	rr := mk(false)
+	low := mk(true)
+	if rr.Stats.Relocations == 0 || low.Stats.Relocations == 0 {
+		t.Skip("workload produced no relocations")
+	}
+	if rrSkew, lowSkew := rr.RelocTargetSkew(), low.RelocTargetSkew(); lowSkew < rrSkew {
+		t.Errorf("lowest-index skew %.2f below round-robin %.2f", lowSkew, rrSkew)
+	}
+}
+
+func TestRelocTargetSkewEmpty(t *testing.T) {
+	dir := directory.New(directory.Config{Slices: 2, SetsPerSlice: 4, Ways: 2})
+	llc := New(Config{Banks: 2, SetsPerBank: 8, Ways: 4, NewPolicy: lruPol}, dir)
+	if got := llc.RelocTargetSkew(); got != 0 {
+		t.Errorf("skew with no relocations = %v", got)
+	}
+}
+
+func TestMarkDirtyAndInvalidate(t *testing.T) {
+	llc, dir := mkLLC(t, SchemeBaseline, PropNone, lruPol)
+	d := newDriver(t, llc, dir, 8)
+	d.access(0, 5, 1)
+	if !llc.MarkDirty(5) {
+		t.Fatal("MarkDirty missed resident block")
+	}
+	loc, _ := llc.Probe(5)
+	if !llc.BlockAt(loc).Dirty {
+		t.Fatal("dirty bit not set")
+	}
+	if llc.MarkDirty(999) {
+		t.Fatal("MarkDirty hit absent block")
+	}
+	llc.MarkDirtyAt(loc) // idempotent on a direct location
+	present, dirty := llc.Invalidate(5)
+	if !present || !dirty {
+		t.Fatalf("Invalidate = %v, %v", present, dirty)
+	}
+	if present, _ := llc.Invalidate(5); present {
+		t.Fatal("second Invalidate found the block")
+	}
+}
+
+func TestFillOutcomeRelocationFields(t *testing.T) {
+	llc, dir := mkLLC(t, SchemeZIV, PropNotInPrC, lruPol)
+	d := newDriver(t, llc, dir, 64)
+	d.prefill(2, 8, 4)
+	addrs := conflictAddrs(5)
+	for _, a := range addrs[:4] {
+		d.access(0, a, 1)
+	}
+	// Direct Fill call to inspect the outcome (driver wraps it otherwise).
+	addr := addrs[4]
+	_, evicted, _ := dir.Allocate(addr, 0, directory.Exclusive)
+	if evicted.Valid {
+		t.Fatal("unexpected directory eviction in setup")
+	}
+	out := llc.Fill(addr, 0, false, true, policy.Meta{Addr: addr}, 123)
+	if out.Relocation == nil {
+		t.Fatalf("expected relocation, got %+v", out)
+	}
+	rel := out.Relocation
+	if rel.Level != "NotInPrC" {
+		t.Errorf("relocation level = %q", rel.Level)
+	}
+	if rel.From == rel.To {
+		t.Error("relocation did not move the block")
+	}
+	b := llc.BlockAt(rel.To)
+	if !b.Relocated || b.Addr != rel.Addr {
+		t.Errorf("block at relocation target: %+v", b)
+	}
+	if out.Evicted == nil || out.Evicted.InPrC {
+		t.Errorf("relocation-set eviction wrong: %+v", out.Evicted)
+	}
+	// Track residency for the driver's model before the final check.
+	d.install(0, addr)
+	d.check()
+}
+
+func TestFillCrossBankPlacesNewBlock(t *testing.T) {
+	// 1 set per bank so the home bank saturates with private blocks.
+	dir := directory.New(directory.Config{Slices: 2, SetsPerSlice: 32, Ways: 8})
+	llc := New(Config{
+		Banks: 2, SetsPerBank: 1, Ways: 4,
+		Scheme: SchemeZIV, Property: PropNotInPrC,
+		NewPolicy:     lruPol,
+		FillCrossBank: true,
+		DebugChecks:   true,
+	}, dir)
+	d := newDriver(t, llc, dir, 64)
+	for i := 0; i < 4; i++ {
+		d.access(0, uint64(i*2), 1) // fill bank 0 with private blocks
+	}
+	d.access(0, 1, 1) // a NotInPrC candidate in bank 1
+	d.dropPrivate(0, 1)
+	// New fill into bank 0: with FillCrossBank the NEW block (addr 8) is
+	// placed in bank 1 as a relocated block; the home set keeps its blocks.
+	d.access(0, 8, 1)
+	if llc.Stats.CrossBankRelocations == 0 {
+		t.Fatalf("no cross-bank placement, stats: %+v", llc.Stats)
+	}
+	e, _, ok := dir.Find(8)
+	if !ok || !e.Relocated || e.Loc.Bank != 1 {
+		t.Fatalf("new block not in relocated state in bank 1: %+v", e)
+	}
+	// All four original bank-0 blocks must still be in place.
+	for i := 0; i < 4; i++ {
+		if _, hit := llc.Probe(uint64(i * 2)); !hit {
+			t.Fatalf("home block %d displaced by FillCrossBank", i*2)
+		}
+	}
+	if d.inclusionVictims != 0 {
+		t.Fatal("FillCrossBank generated inclusion victims")
+	}
+	d.check()
+}

@@ -1,0 +1,139 @@
+// Package dram models a DDR3-style main-memory system: channels, ranks,
+// banks and row buffers with open-page policy, plus simple bank-busy
+// contention. It is the DRAMSim2 substitute described in DESIGN.md — it
+// captures the row-hit/row-miss latency difference and per-access energy,
+// which is what the paper's figures consume from the memory model.
+package dram
+
+// Config describes the simulated memory system. The defaults mirror the
+// paper's Table I: two single-channel DDR3-2133 controllers, two ranks per
+// channel, eight banks per rank, 1 KB row buffer, 14-14-14-35 timing.
+type Config struct {
+	Channels    int
+	Ranks       int
+	Banks       int
+	RowBytes    int
+	CPUFreqGHz  float64
+	BusFreqMHz  float64
+	TCL         int // CAS latency, DRAM cycles
+	TRCD        int // RAS-to-CAS delay, DRAM cycles
+	TRP         int // row precharge, DRAM cycles
+	TRAS        int // row active time, DRAM cycles
+	BurstCycles int // data burst length in DRAM cycles (BL=8 -> 4 clock edges)
+	QueueDelay  int // fixed controller queueing/scheduling delay in CPU cycles
+}
+
+// DefaultConfig returns the paper's Table I memory configuration.
+func DefaultConfig() Config {
+	return Config{
+		Channels:    2,
+		Ranks:       2,
+		Banks:       8,
+		RowBytes:    1024,
+		CPUFreqGHz:  4.0,
+		BusFreqMHz:  1066.5, // DDR3-2133
+		TCL:         14,
+		TRCD:        14,
+		TRP:         14,
+		TRAS:        35,
+		BurstCycles: 4,
+		QueueDelay:  20,
+	}
+}
+
+// Memory is the DDR3 model. It is not safe for concurrent use; each
+// simulation owns one instance.
+type Memory struct {
+	cfg       Config
+	cpuPerBus float64
+	openRow   []int64  // per (channel,rank,bank): open row id, -1 = closed
+	busyUntil []uint64 // per bank: CPU cycle at which the bank is free
+
+	Stats Stats
+}
+
+// Stats counts memory events.
+type Stats struct {
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64 // row-buffer conflict or closed row
+}
+
+// New builds a memory model from cfg.
+func New(cfg Config) *Memory {
+	n := cfg.Channels * cfg.Ranks * cfg.Banks
+	m := &Memory{
+		cfg:       cfg,
+		cpuPerBus: cfg.CPUFreqGHz * 1000.0 / cfg.BusFreqMHz,
+		openRow:   make([]int64, n),
+		busyUntil: make([]uint64, n),
+	}
+	for i := range m.openRow {
+		m.openRow[i] = -1
+	}
+	return m
+}
+
+// bankOf maps a block address to its (flattened) bank index and row id using
+// low-order interleaving: channel bits lowest, then bank, then rank.
+func (m *Memory) bankOf(blockAddr uint64) (bank int, row int64) {
+	a := blockAddr
+	ch := int(a % uint64(m.cfg.Channels))
+	a /= uint64(m.cfg.Channels)
+	bk := int(a % uint64(m.cfg.Banks))
+	a /= uint64(m.cfg.Banks)
+	rk := int(a % uint64(m.cfg.Ranks))
+	a /= uint64(m.cfg.Ranks)
+	blocksPerRow := uint64(m.cfg.RowBytes / 64)
+	row = int64(a / blocksPerRow)
+	bank = (ch*m.cfg.Ranks+rk)*m.cfg.Banks + bk
+	return bank, row
+}
+
+func (m *Memory) toCPU(busCycles int) uint64 {
+	return uint64(float64(busCycles)*m.cpuPerBus + 0.5)
+}
+
+// Access performs a read or write of blockAddr issued at CPU cycle now and
+// returns the total latency in CPU cycles (including queueing behind a busy
+// bank).
+func (m *Memory) Access(blockAddr uint64, write bool, now uint64) uint64 {
+	if write {
+		m.Stats.Writes++
+	} else {
+		m.Stats.Reads++
+	}
+	bank, row := m.bankOf(blockAddr)
+	var busCycles int
+	if m.openRow[bank] == row {
+		m.Stats.RowHits++
+		busCycles = m.cfg.TCL + m.cfg.BurstCycles
+	} else {
+		m.Stats.RowMisses++
+		if m.openRow[bank] >= 0 {
+			busCycles = m.cfg.TRP + m.cfg.TRCD + m.cfg.TCL + m.cfg.BurstCycles
+		} else {
+			busCycles = m.cfg.TRCD + m.cfg.TCL + m.cfg.BurstCycles
+		}
+		m.openRow[bank] = row
+	}
+	lat := m.toCPU(busCycles) + uint64(m.cfg.QueueDelay)
+	if m.busyUntil[bank] > now {
+		lat += m.busyUntil[bank] - now
+	}
+	m.busyUntil[bank] = now + lat
+	return lat
+}
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (s Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// Accesses returns the total access count.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }

@@ -1,0 +1,102 @@
+// Package energy accounts per-event energies and produces energy-per-
+// instruction (EPI) numbers, the CACTI/Micron-power-calculator substitute
+// described in DESIGN.md. The per-event constants are fixed at values in the
+// ranges the paper's 22 nm CACTI estimates imply; the figures consume only
+// EPI aggregates and deltas, which these constants reproduce in shape and
+// magnitude.
+package energy
+
+// Event identifies an energy-consuming simulator event.
+type Event int
+
+// Energy event kinds.
+const (
+	L1Access Event = iota
+	L2Access
+	LLCTagLookup
+	LLCDataRead
+	LLCDataWrite
+	DirLookup
+	DirUpdate
+	DirWideExtra // extra energy of the ZIV-widened sparse directory entry
+	Relocation   // one block relocation = LLC read + LLC write + control
+	DRAMAccess
+	MeshHop
+	numEvents
+)
+
+var names = [numEvents]string{
+	"L1Access", "L2Access", "LLCTagLookup", "LLCDataRead", "LLCDataWrite",
+	"DirLookup", "DirUpdate", "DirWideExtra", "Relocation", "DRAMAccess", "MeshHop",
+}
+
+// String returns the event name.
+func (e Event) String() string {
+	if e < 0 || e >= numEvents {
+		return "unknown"
+	}
+	return names[e]
+}
+
+// PicoJoules holds the per-event energy table in pJ.
+type PicoJoules [numEvents]float64
+
+// DefaultTable returns the 22 nm-class energy constants.
+func DefaultTable() PicoJoules {
+	var t PicoJoules
+	t[L1Access] = 10
+	t[L2Access] = 60
+	t[LLCTagLookup] = 25
+	t[LLCDataRead] = 220
+	t[LLCDataWrite] = 240
+	t[DirLookup] = 15
+	t[DirUpdate] = 18
+	t[DirWideExtra] = 5
+	t[Relocation] = t[LLCDataRead] + t[LLCDataWrite] + 20
+	t[DRAMAccess] = 15000
+	t[MeshHop] = 8
+	return t
+}
+
+// Meter accumulates event counts and converts them to energy.
+type Meter struct {
+	table  PicoJoules
+	counts [numEvents]uint64
+}
+
+// NewMeter returns a meter using the given table.
+func NewMeter(table PicoJoules) *Meter { return &Meter{table: table} }
+
+// Add records n occurrences of event e.
+func (m *Meter) Add(e Event, n uint64) { m.counts[e] += n }
+
+// Count returns the recorded occurrences of e.
+func (m *Meter) Count(e Event) uint64 { return m.counts[e] }
+
+// TotalPJ returns the total accumulated energy in pJ.
+func (m *Meter) TotalPJ() float64 {
+	var total float64
+	for e := Event(0); e < numEvents; e++ {
+		total += float64(m.counts[e]) * m.table[e]
+	}
+	return total
+}
+
+// EventPJ returns the accumulated energy of one event class in pJ.
+func (m *Meter) EventPJ(e Event) float64 { return float64(m.counts[e]) * m.table[e] }
+
+// EPI returns energy per instruction in pJ for the given instruction count.
+func (m *Meter) EPI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return m.TotalPJ() / float64(instructions)
+}
+
+// EventEPI returns the EPI contribution of one event class in pJ.
+func (m *Meter) EventEPI(e Event, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return m.EventPJ(e) / float64(instructions)
+}

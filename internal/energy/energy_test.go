@@ -1,0 +1,76 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeterAccumulation(t *testing.T) {
+	m := NewMeter(DefaultTable())
+	m.Add(L1Access, 10)
+	m.Add(DRAMAccess, 2)
+	if m.Count(L1Access) != 10 {
+		t.Errorf("Count = %d", m.Count(L1Access))
+	}
+	want := 10*DefaultTable()[L1Access] + 2*DefaultTable()[DRAMAccess]
+	if got := m.TotalPJ(); got != want {
+		t.Errorf("TotalPJ = %v, want %v", got, want)
+	}
+}
+
+func TestEPI(t *testing.T) {
+	m := NewMeter(DefaultTable())
+	m.Add(Relocation, 100)
+	if m.EPI(0) != 0 {
+		t.Error("EPI with zero instructions should be 0")
+	}
+	epi := m.EPI(1000)
+	if epi <= 0 {
+		t.Error("EPI should be positive")
+	}
+	if got := m.EventEPI(Relocation, 1000); got != epi {
+		t.Errorf("EventEPI = %v, want %v (only relocations recorded)", got, epi)
+	}
+	if m.EventEPI(L1Access, 1000) != 0 {
+		t.Error("unrecorded event should contribute 0")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	if Relocation.String() != "Relocation" {
+		t.Errorf("String = %q", Relocation.String())
+	}
+	if Event(99).String() != "unknown" {
+		t.Error("out-of-range event should stringify to unknown")
+	}
+	for e := Event(0); e < numEvents; e++ {
+		if e.String() == "" || e.String() == "unknown" {
+			t.Errorf("event %d has no name", e)
+		}
+	}
+}
+
+func TestRelocationCostsMoreThanSingleAccess(t *testing.T) {
+	tab := DefaultTable()
+	if tab[Relocation] <= tab[LLCDataRead] || tab[Relocation] <= tab[LLCDataWrite] {
+		t.Error("relocation must cost at least a read plus a write")
+	}
+}
+
+// Property: TotalPJ is linear in event counts.
+func TestTotalLinearityProperty(t *testing.T) {
+	f := func(counts [numEvents]uint16, k uint8) bool {
+		scale := uint64(k%7) + 1
+		a := NewMeter(DefaultTable())
+		b := NewMeter(DefaultTable())
+		for e := Event(0); e < numEvents; e++ {
+			a.Add(e, uint64(counts[e]))
+			b.Add(e, uint64(counts[e])*scale)
+		}
+		diff := b.TotalPJ() - a.TotalPJ()*float64(scale)
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,327 @@
+// Package harness defines one experiment per figure of the paper's
+// evaluation (Figs. 1-4 motivation, Figs. 8-19 results) and the machinery to
+// run them: per-(configuration, mix) simulations with caching, a worker pool,
+// and tabular output matching the rows/series the paper reports.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"zivsim/internal/core"
+	"zivsim/internal/directory"
+	"zivsim/internal/dram"
+	"zivsim/internal/energy"
+	"zivsim/internal/hierarchy"
+	"zivsim/internal/metrics"
+	"zivsim/internal/trace"
+	"zivsim/internal/workload"
+)
+
+// Options controls experiment scale. The defaults run every figure on a
+// laptop in minutes; raise Mixes/Measure (and lower Scale) to approach the
+// paper's full methodology.
+type Options struct {
+	// Scale divides every cache capacity (power of two; 1 = the paper's
+	// full 8 MB-LLC machine). Capacity ratios — and therefore normalized
+	// shapes — are scale-invariant.
+	Scale int
+	// Cores is the CMP size for multi-programmed experiments.
+	Cores int
+	// HeteroMixes and HomoMixes set how many mixes of each kind run (the
+	// paper uses 36 + 36).
+	HeteroMixes int
+	HomoMixes   int
+	// Warmup and Measure are references per core.
+	Warmup  int
+	Measure int
+	// TPCECores is the core count of the TPC-E scalability experiment
+	// (paper: 128).
+	TPCECores int
+	// Seed makes everything deterministic.
+	Seed uint64
+	// Parallelism bounds concurrent simulations (0 = NumCPU).
+	Parallelism int
+}
+
+// DefaultOptions returns laptop-scale settings.
+func DefaultOptions() Options {
+	return Options{
+		Scale:       8,
+		Cores:       8,
+		HeteroMixes: 4,
+		HomoMixes:   4,
+		Warmup:      30_000,
+		Measure:     120_000,
+		TPCECores:   32,
+		Seed:        20210614, // ISCA 2021
+	}
+}
+
+// PaperOptions returns the paper-fidelity settings (slow: full-size machine,
+// 36+36 mixes).
+func PaperOptions() Options {
+	o := DefaultOptions()
+	o.Scale = 1
+	o.HeteroMixes = 36
+	o.HomoMixes = 36
+	o.Warmup = 100_000
+	o.Measure = 500_000
+	o.TPCECores = 128
+	return o
+}
+
+// Result is everything one simulation produced.
+type Result struct {
+	Config hierarchy.Config
+	Cores  []metrics.CoreStats
+	LLC    core.Stats
+	Dir    directory.Stats
+	Mem    dram.Stats
+
+	TotalInstr   uint64
+	RelocEPI     float64 // pJ/instruction spent on relocation + widened directory
+	RelocSkew    float64 // max/mean relocation-target load across sets
+	TotalL2Miss  uint64
+	TotalLLCMiss uint64
+	TotalIncl    uint64 // back-invalidation inclusion victims
+	TotalDirIncl uint64
+}
+
+// runOne simulates one (config, generators) pair.
+func runOne(cfg hierarchy.Config, gens []trace.Generator, warmup, measure int) Result {
+	m := hierarchy.New(cfg, gens, warmup, measure)
+	m.Run()
+	cores := m.CoreStats()
+	r := Result{
+		Config: cfg,
+		Cores:  cores,
+		LLC:    m.LLC().Stats,
+		Dir:    m.Directory().Stats,
+		Mem:    m.Memory().Stats,
+	}
+	for _, cs := range cores {
+		r.TotalInstr += cs.Instructions
+		r.TotalL2Miss += cs.L2Misses
+		r.TotalLLCMiss += cs.LLCMisses
+		r.TotalIncl += cs.InclusionVictims
+		r.TotalDirIncl += cs.DirInclusionVictims
+	}
+	r.RelocEPI = m.Meter().EventEPI(energy.Relocation, r.TotalInstr) +
+		m.Meter().EventEPI(energy.DirWideExtra, r.TotalInstr)
+	r.RelocSkew = m.LLC().RelocTargetSkew()
+	return r
+}
+
+// job identifies one simulation in a figure's matrix.
+type job struct {
+	cfgLabel string
+	cfg      hierarchy.Config
+	mix      workload.Mix
+}
+
+// runner executes jobs with caching and bounded parallelism. Runners are
+// shared process-wide per Options value, so experiments that overlap in
+// their configuration matrices (e.g. Figs. 3/4, Figs. 8/9/10) reuse each
+// other's simulations.
+type runner struct {
+	opt     Options
+	mu      sync.Mutex
+	results map[string]Result
+}
+
+var (
+	runnersMu sync.Mutex
+	runners   = map[Options]*runner{}
+)
+
+func newRunner(opt Options) *runner {
+	key := opt
+	key.Parallelism = 0 // parallelism does not affect results
+	runnersMu.Lock()
+	defer runnersMu.Unlock()
+	if r := runners[key]; r != nil {
+		r.opt = opt
+		return r
+	}
+	r := &runner{opt: opt, results: make(map[string]Result)}
+	runners[key] = r
+	return r
+}
+
+func (r *runner) key(cfgLabel, mixName string) string { return cfgLabel + "|" + mixName }
+
+// params derives the workload scaling parameters for a machine config.
+func paramsFor(cfg hierarchy.Config, baseL2 int) workload.Params {
+	return workload.Params{
+		L2Bytes:       uint64(cfg.L2Bytes),
+		LLCShareBytes: uint64(cfg.LLCBytes / cfg.Cores),
+		BaseL2Bytes:   uint64(baseL2),
+	}
+}
+
+// runAll executes every job (cached by (config label, mix)) in parallel.
+func (r *runner) runAll(jobs []job, baseL2 int) {
+	todo := make([]job, 0, len(jobs))
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		k := r.key(j.cfgLabel, j.mix.Name)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		r.mu.Lock()
+		_, done := r.results[k]
+		r.mu.Unlock()
+		if !done {
+			todo = append(todo, j)
+		}
+	}
+	par := r.opt.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for _, j := range todo {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			p := paramsFor(j.cfg, baseL2)
+			gens := workload.BuildMix(j.mix, p, r.opt.Seed)
+			res := runOne(j.cfg, gens, r.opt.Warmup, r.opt.Measure)
+			r.mu.Lock()
+			r.results[r.key(j.cfgLabel, j.mix.Name)] = res
+			r.mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+}
+
+// get returns a completed result.
+func (r *runner) get(cfgLabel, mixName string) Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, ok := r.results[r.key(cfgLabel, mixName)]
+	if !ok {
+		panic(fmt.Sprintf("harness: missing result for %s on %s", cfgLabel, mixName))
+	}
+	return res
+}
+
+// mixes picks the experiment's workload mixes per the options.
+func (o Options) mixes() []workload.Mix {
+	var out []workload.Mix
+	homo := workload.HomogeneousMixes(o.Cores)
+	// Spread homogeneous picks across behaviour families.
+	if o.HomoMixes >= len(homo) {
+		out = append(out, homo...)
+	} else {
+		stride := len(homo) / max(o.HomoMixes, 1)
+		for i := 0; i < o.HomoMixes; i++ {
+			out = append(out, homo[i*stride])
+		}
+	}
+	out = append(out, workload.HeterogeneousMixes(o.Cores, o.HeteroMixes, o.Seed)...)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one labeled series of values.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	width := 24
+	for _, r := range t.Rows {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%12s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", width+2, r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%12.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("label")
+	for _, c := range t.Columns {
+		b.WriteString("," + c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Experiment is one reproducible figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) *Table
+}
+
+var experiments []Experiment
+
+func register(e Experiment) { experiments = append(experiments, e) }
+
+// Experiments lists all registered figures in id order.
+func Experiments() []Experiment {
+	out := append([]Experiment(nil), experiments...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,296 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps harness tests fast: a 1/64-scale machine, two mixes,
+// short segments.
+func tinyOptions() Options {
+	o := DefaultOptions()
+	o.Scale = 64
+	o.HeteroMixes = 1
+	o.HomoMixes = 1
+	o.Warmup = 2000
+	o.Measure = 8000
+	o.TPCECores = 8
+	return o
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	want := []string{"ext1", "ext2", "ext3", "fig1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig2", "fig3", "fig4", "fig8", "fig9"}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("experiment count = %d, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("fig8"); !ok {
+		t.Error("ByID(fig8) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) succeeded")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	e, _ := ByID("fig1")
+	tab := e.Run(tinyOptions())
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fig1 rows = %d, want 4", len(tab.Rows))
+	}
+	if len(tab.Columns) != 3 {
+		t.Fatalf("fig1 columns = %d, want 3", len(tab.Columns))
+	}
+	// The baseline row at 256KB must be ~1.0 by construction.
+	for _, r := range tab.Rows {
+		if r.Label == "I-LRU" {
+			if r.Values[0] < 0.99 || r.Values[0] > 1.01 {
+				t.Errorf("I-LRU@256KB speedup = %v, want 1.0", r.Values[0])
+			}
+		}
+		for _, v := range r.Values {
+			if v <= 0 {
+				t.Errorf("row %s has non-positive speedup %v", r.Label, v)
+			}
+		}
+	}
+}
+
+func TestFig2ZIVFreeInclusionVictims(t *testing.T) {
+	// Not fig2 itself, but the core claim: ZIV rows in fig8's matrix must
+	// have zero inclusion victims. Run the ZIV spec directly.
+	o := tinyOptions()
+	s := spec{label: "ziv", l2: kb256, mode: 0, pol: 0, scheme: 4 /* SchemeZIV */, prop: 1 /* NotInPrC */}
+	r, mixes, _ := sweepMatrix(o, []spec{s})
+	for _, mix := range mixes {
+		res := r.get("ziv", mix.Name)
+		if res.TotalIncl != 0 {
+			t.Fatalf("ZIV produced %d inclusion victims on %s", res.TotalIncl, mix.Name)
+		}
+	}
+}
+
+func TestTableFormatAndCSV(t *testing.T) {
+	tab := &Table{
+		Title:   "test",
+		Columns: []string{"a", "b"},
+		Rows:    []Row{{Label: "row1", Values: []float64{1.5, 2.5}}},
+		Notes:   []string{"a note"},
+	}
+	txt := tab.Format()
+	if !strings.Contains(txt, "test") || !strings.Contains(txt, "row1") || !strings.Contains(txt, "1.5") || !strings.Contains(txt, "a note") {
+		t.Errorf("Format output missing content:\n%s", txt)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "label,a,b\n") || !strings.Contains(csv, "row1,1.5,2.5") {
+		t.Errorf("CSV output wrong:\n%s", csv)
+	}
+}
+
+func TestOptionsMixes(t *testing.T) {
+	o := tinyOptions()
+	mixes := o.mixes()
+	if len(mixes) != o.HomoMixes+o.HeteroMixes {
+		t.Fatalf("mixes = %d, want %d", len(mixes), o.HomoMixes+o.HeteroMixes)
+	}
+	o.HomoMixes = 100 // more than available: clamps to all 36
+	if got := len(o.mixes()); got != 36+o.HeteroMixes {
+		t.Fatalf("clamped mixes = %d, want %d", got, 36+o.HeteroMixes)
+	}
+}
+
+func TestPaperOptions(t *testing.T) {
+	o := PaperOptions()
+	if o.Scale != 1 || o.HeteroMixes != 36 || o.HomoMixes != 36 || o.TPCECores != 128 {
+		t.Errorf("PaperOptions = %+v", o)
+	}
+}
+
+func TestExt1OracleRuns(t *testing.T) {
+	e, ok := ByID("ext1")
+	if !ok {
+		t.Fatal("ext1 not registered")
+	}
+	tab := e.Run(tinyOptions())
+	if len(tab.Rows) != 4 {
+		t.Fatalf("ext1 rows = %d, want 4", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		for _, v := range r.Values {
+			if v <= 0 {
+				t.Errorf("row %s has non-positive speedup %v", r.Label, v)
+			}
+		}
+	}
+}
+
+func TestExt3SRRIPZeroVictims(t *testing.T) {
+	e, ok := ByID("ext3")
+	if !ok {
+		t.Fatal("ext3 not registered")
+	}
+	tab := e.Run(tinyOptions())
+	if len(tab.Rows) != 4 {
+		t.Fatalf("ext3 rows = %d, want 4", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		for _, v := range r.Values {
+			if v <= 0 {
+				t.Errorf("row %s has non-positive speedup %v", r.Label, v)
+			}
+		}
+	}
+}
+
+func TestExt2AblationSkew(t *testing.T) {
+	e, ok := ByID("ext2")
+	if !ok {
+		t.Fatal("ext2 not registered")
+	}
+	tab := e.Run(tinyOptions())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("ext2 rows = %d, want 2", len(tab.Rows))
+	}
+	var rr, lowest float64
+	for _, r := range tab.Rows {
+		switch r.Label {
+		case "ZIV-RoundRobin":
+			rr = r.Values[1]
+		case "ZIV-LowestIndex":
+			lowest = r.Values[1]
+		}
+	}
+	if rr == 0 || lowest == 0 {
+		t.Skip("no relocations at this scale")
+	}
+	if lowest < rr {
+		t.Errorf("lowest-index skew (%v) below round-robin (%v): fairness ablation inverted", lowest, rr)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	e, _ := ByID("fig14")
+	tab := e.Run(tinyOptions())
+	if len(tab.Rows) != 13 {
+		t.Fatalf("fig14 rows = %d, want 13", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Values) != 1 || r.Values[0] <= 0 {
+			t.Errorf("row %s: bad values %v", r.Label, r.Values)
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	e, _ := ByID("fig15")
+	tab := e.Run(tinyOptions())
+	if len(tab.Rows) != 6 { // 3 families x {MESI, ZeroDEV}
+		t.Fatalf("fig15 rows = %d, want 6", len(tab.Rows))
+	}
+	if len(tab.Columns) != 4 {
+		t.Fatalf("fig15 columns = %d, want 4 directory sizes", len(tab.Columns))
+	}
+	for _, r := range tab.Rows {
+		for _, v := range r.Values {
+			if v <= 0 {
+				t.Errorf("row %s has non-positive speedup", r.Label)
+			}
+		}
+	}
+}
+
+func TestFig16And17Shape(t *testing.T) {
+	for _, id := range []string{"fig16", "fig17"} {
+		e, _ := ByID(id)
+		tab := e.Run(tinyOptions())
+		if len(tab.Rows) != 5 {
+			t.Fatalf("%s rows = %d, want 5 MT workloads", id, len(tab.Rows))
+		}
+		if len(tab.Columns) != 6 {
+			t.Fatalf("%s columns = %d, want 6 designs", id, len(tab.Columns))
+		}
+		for _, r := range tab.Rows {
+			for i, v := range r.Values {
+				if v <= 0 {
+					t.Errorf("%s %s/%s: non-positive ratio %v", id, r.Label, tab.Columns[i], v)
+				}
+			}
+		}
+	}
+}
+
+func TestFig18CDF(t *testing.T) {
+	e, _ := ByID("fig18")
+	tab := e.Run(tinyOptions())
+	if len(tab.Columns) != 3 {
+		t.Fatalf("fig18 columns = %d, want 3 designs", len(tab.Columns))
+	}
+	// Each column must be a monotone CDF ending at ~1 (if any relocations).
+	for c := 0; c < 3; c++ {
+		prev := 0.0
+		for _, r := range tab.Rows {
+			v := r.Values[c]
+			if v < prev-1e-9 {
+				t.Fatalf("fig18 column %d not monotone at %s", c, r.Label)
+			}
+			prev = v
+		}
+		if len(tab.Rows) > 0 {
+			last := tab.Rows[len(tab.Rows)-1].Values[c]
+			if last != 0 && (last < 0.999 || last > 1.001) {
+				t.Errorf("fig18 column %d CDF ends at %v", c, last)
+			}
+		}
+	}
+}
+
+func TestFig19EPIGrowsWithL2(t *testing.T) {
+	e, _ := ByID("fig19")
+	tab := e.Run(tinyOptions())
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fig19 rows = %d, want 4 designs", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		for _, v := range r.Values {
+			if v < 0 {
+				t.Errorf("negative EPI in row %s", r.Label)
+			}
+		}
+	}
+}
+
+func TestFig9PerMix(t *testing.T) {
+	e, _ := ByID("fig9")
+	o := tinyOptions()
+	tab := e.Run(o)
+	// One row per mix plus the geomean row.
+	if len(tab.Rows) != o.HomoMixes+o.HeteroMixes+1 {
+		t.Fatalf("fig9 rows = %d, want %d", len(tab.Rows), o.HomoMixes+o.HeteroMixes+1)
+	}
+	if tab.Rows[len(tab.Rows)-1].Label != "geomean" {
+		t.Error("fig9 missing geomean row")
+	}
+}
+
+func TestRunnerCacheSharing(t *testing.T) {
+	o := tinyOptions()
+	o.Seed++ // private option set for this test
+	r1 := newRunner(o)
+	r2 := newRunner(o)
+	if r1 != r2 {
+		t.Fatal("same options did not share a runner")
+	}
+	o2 := o
+	o2.Measure++
+	if newRunner(o2) == r1 {
+		t.Fatal("different options shared a runner")
+	}
+}

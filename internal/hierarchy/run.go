@@ -1,0 +1,159 @@
+package hierarchy
+
+import (
+	"zivsim/internal/cache"
+	"zivsim/internal/dram"
+	"zivsim/internal/energy"
+	"zivsim/internal/policy"
+)
+
+// step issues the next reference of core c and advances its local clock.
+func (m *Machine) step(c *coreState) {
+	ref := c.gen.Next()
+	pos := c.refIdx*uint64(m.cfg.Cores) + uint64(c.id)
+	measured := !c.done && c.refIdx >= m.warmupRefs
+	c.refIdx++
+
+	blockAddr := cache.BlockAddr(ref.Addr)
+	meta := policy.Meta{PC: ref.PC, Addr: blockAddr, Pos: pos}
+
+	cycles := uint64(ref.Gap) + uint64(m.cfg.L1Latency)
+	insts := uint64(ref.Gap) + 1
+	var res accessResult
+
+	m.meter.Add(energy.L1Access, 1)
+	set := c.l1.SetIndex(blockAddr)
+	if way, hit := c.l1.Access(blockAddr, ref.Write, meta); hit {
+		if ref.Write && !c.l1.Block(set, way).Writable {
+			cycles += m.upgrade(c, blockAddr)
+		}
+		if measured {
+			c.stats.L1Hits++
+		}
+	} else {
+		if measured {
+			c.stats.L1Misses++
+		}
+		cycles += m.accessL2(c, blockAddr, ref.Write, meta, &res)
+		if measured {
+			if res.l2Hit {
+				c.stats.L2Hits++
+			} else {
+				c.stats.L2Misses++
+				if res.llcHit {
+					c.stats.LLCHits++
+				}
+				if res.llcMiss {
+					c.stats.LLCMisses++
+				}
+				if res.mem {
+					c.stats.MemAccesses++
+				}
+			}
+		}
+	}
+
+	c.cycle += cycles
+	if measured {
+		c.stats.Refs++
+		c.stats.Instructions += insts
+		c.stats.Cycles += cycles
+	}
+
+	if m.cfg.DebugChecks && m.cfg.CheckEvery > 0 {
+		m.checkCounter++
+		if m.checkCounter >= m.cfg.CheckEvery {
+			m.checkCounter = 0
+			m.mustCheck()
+		}
+	}
+}
+
+// accessL2 serves an L1 miss from the private L2 or below and returns the
+// added latency.
+func (m *Machine) accessL2(c *coreState, blockAddr uint64, write bool, meta policy.Meta, res *accessResult) uint64 {
+	lat := uint64(m.cfg.L2Latency)
+	m.meter.Add(energy.L2Access, 1)
+	set := c.l2.SetIndex(blockAddr)
+	if way, hit := c.l2.Access(blockAddr, false, meta); hit {
+		res.l2Hit = true
+		md := c.l2MetaAt(set, way)
+		if md.demandReuses < 255 {
+			md.demandReuses++
+		}
+		writable := c.l2.Block(set, way).Writable
+		if write && !writable {
+			lat += m.upgrade(c, blockAddr)
+			writable = true
+		}
+		m.fillL1(c, blockAddr, write, writable, meta)
+		return lat
+	}
+	return lat + m.llcTransaction(c, blockAddr, write, meta, res)
+}
+
+// Run simulates until every core completes warmup+measure references. Early
+// finishers keep running (restarting their streams implicitly — generators
+// are infinite) so the LLC contention stays realistic, exactly as the paper
+// describes its methodology; their statistics freeze at segment end.
+//
+// Global structure statistics (LLC, directory, DRAM, energy) are reset at
+// the moment every core has passed its warmup so the reported totals cover
+// the measured region.
+func (m *Machine) Run() {
+	target := m.warmupRefs + m.measuredRefs
+	remaining := len(m.cores)
+	warmupPending := m.warmupRefs > 0
+	for remaining > 0 {
+		// Min-cycle scheduling: the core furthest behind in time issues
+		// next, so slow (miss-heavy) cores issue fewer references per unit
+		// of global time.
+		ci := 0
+		min := m.cores[0].cycle
+		for i := 1; i < len(m.cores); i++ {
+			if m.cores[i].cycle < min {
+				min = m.cores[i].cycle
+				ci = i
+			}
+		}
+		c := &m.cores[ci]
+		m.step(c)
+		if !c.done && c.refIdx >= target {
+			c.done = true
+			remaining--
+		}
+		if warmupPending {
+			allWarm := true
+			for i := range m.cores {
+				if m.cores[i].refIdx < m.warmupRefs {
+					allWarm = false
+					break
+				}
+			}
+			if allWarm {
+				warmupPending = false
+				m.resetGlobalStats()
+			}
+		}
+	}
+}
+
+// resetGlobalStats clears the shared-structure counters at the end of
+// warmup.
+func (m *Machine) resetGlobalStats() {
+	m.llc.Stats = coreLLCStatsZero
+	m.dir.Stats = dirStatsZero
+	m.mem.Stats = dram.Stats{}
+	m.meter = energy.NewMeter(energy.DefaultTable())
+	m.CoherenceInvals = 0
+}
+
+// mustCheck validates every invariant (tests only).
+func (m *Machine) mustCheck() {
+	if err := m.llc.CheckInvariants(); err != nil {
+		panic(err)
+	}
+	if err := m.CheckInclusion(); err != nil {
+		panic(err)
+	}
+}

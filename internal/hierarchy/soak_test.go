@@ -1,0 +1,88 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"zivsim/internal/core"
+	"zivsim/internal/trace"
+	"zivsim/internal/workload"
+)
+
+// TestSoakZIV runs a mid-size ZIV machine under full invariant checking for
+// long enough to reach the rare paths (re-relocations, cross-bank
+// relocations, CHAR threshold adaptation, directory churn). Skipped with
+// -short.
+func TestSoakZIV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, tc := range []struct {
+		name string
+		prop core.Property
+		pol  PolicyKind
+	}{
+		{"LikelyDead-LRU", core.PropLikelyDead, PolicyLRU},
+		{"MRLikelyDead-Hawkeye", core.PropMaxRRPVLikelyDead, PolicyHawkeye},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(8, 512<<10, 32)
+			cfg.Scheme = core.SchemeZIV
+			cfg.Property = tc.prop
+			cfg.Policy = tc.pol
+			cfg.DebugChecks = true
+			cfg.CheckEvery = 2048
+			mix := workload.HeterogeneousMixes(8, 1, 5)[0]
+			p := workload.Params{
+				L2Bytes:       uint64(cfg.L2Bytes),
+				LLCShareBytes: uint64(cfg.LLCBytes / 8),
+				BaseL2Bytes:   uint64(cfg.L2Bytes),
+			}
+			m := New(cfg, workload.BuildMix(mix, p, 5), 5000, 60000)
+			m.Run()
+			if err := m.CheckInclusion(); err != nil {
+				t.Fatal(err)
+			}
+			if got := m.InclusionVictimTotal(); got != 0 {
+				t.Fatalf("soak produced %d inclusion victims", got)
+			}
+			st := m.LLC().Stats
+			t.Logf("relocations=%d (cross-bank=%d, re-reloc=%d, alt=%d) fifoMax=%d",
+				st.Relocations, st.CrossBankRelocations, st.ReRelocations, st.AlternateVictims, st.FIFOMaxOcc)
+		})
+	}
+}
+
+// TestSoakMTCoherence stresses the MESI paths with a write-heavy shared
+// workload under invariant checking.
+func TestSoakMTCoherence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	cfg := DefaultConfig(8, 256<<10, 32)
+	cfg.Scheme = core.SchemeZIV
+	cfg.Property = core.PropNotInPrC
+	cfg.DebugChecks = true
+	cfg.CheckEvery = 2048
+	gens := trace.NewSharedGroup(1<<40, trace.SharedConfig{
+		Threads:      8,
+		SharedBytes:  uint64(cfg.LLCBytes),
+		PrivateBytes: uint64(cfg.L2Bytes) / 2,
+		SharedFrac:   0.6,
+		Pattern:      trace.SharedHot,
+		HotFrac:      0.7,
+		WriteFrac:    0.5,
+		GapMean:      2,
+		Seed:         77,
+	})
+	m := New(cfg, trace.TranslateAll(gens, 77), 5000, 50000)
+	m.Run()
+	if err := m.CheckInclusion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.InclusionVictimTotal() != 0 {
+		t.Fatal("ZIV produced inclusion victims under write-heavy sharing")
+	}
+	if m.CoherenceInvals == 0 {
+		t.Error("write-heavy sharing produced no coherence invalidations")
+	}
+}

@@ -1,0 +1,80 @@
+package policy
+
+// LRU implements true least-recently-used replacement using per-way
+// timestamps. Victim ranking is oldest-first.
+type LRU struct {
+	rankBuf
+	sets, ways int
+	stamp      []uint64 // sets*ways access timestamps; 0 = never touched
+	clock      uint64
+}
+
+// NewLRU returns a true-LRU policy.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "LRU" }
+
+// Init implements Policy.
+func (p *LRU) Init(sets, ways int) {
+	p.sets, p.ways = sets, ways
+	p.stamp = make([]uint64, sets*ways)
+	p.clock = 0
+}
+
+func (p *LRU) touch(set, way int) {
+	p.clock++
+	p.stamp[set*p.ways+way] = p.clock
+}
+
+// OnHit implements Policy.
+func (p *LRU) OnHit(set, way int, _ Meta) { p.touch(set, way) }
+
+// OnFill implements Policy.
+func (p *LRU) OnFill(set, way int, _ Meta) { p.touch(set, way) }
+
+// OnEvict implements Policy.
+func (p *LRU) OnEvict(set, way int) { p.stamp[set*p.ways+way] = 0 }
+
+// OnInvalidate implements Policy.
+func (p *LRU) OnInvalidate(set, way int) { p.stamp[set*p.ways+way] = 0 }
+
+// Rank implements Policy: ways ordered oldest (LRU) to newest (MRU).
+func (p *LRU) Rank(set int) []int {
+	out := p.ensure(p.ways)
+	base := set * p.ways
+	for w := 0; w < p.ways; w++ {
+		out = append(out, w)
+	}
+	// Insertion sort by ascending timestamp; associativity is small (8-16).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && p.stamp[base+out[j]] < p.stamp[base+out[j-1]]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	p.buf = out
+	return out
+}
+
+// LRUWay implements LRUPositioner: the valid way with the smallest timestamp.
+// Invalid ways (stamp 0) would sort first, but the cache substrate only
+// consults LRUWay on full sets, and stamps are cleared on eviction, so a zero
+// stamp on a full set cannot occur.
+func (p *LRU) LRUWay(set int) int {
+	base := set * p.ways
+	best, bestStamp := 0, p.stamp[base]
+	for w := 1; w < p.ways; w++ {
+		if p.stamp[base+w] < bestStamp {
+			best, bestStamp = w, p.stamp[base+w]
+		}
+	}
+	return best
+}
+
+var (
+	_ Policy        = (*LRU)(nil)
+	_ LRUPositioner = (*LRU)(nil)
+)
+
+// Promote implements Policy: move to MRU.
+func (p *LRU) Promote(set, way int) { p.touch(set, way) }

@@ -1,0 +1,75 @@
+// Package policy implements the cache replacement policies evaluated in the
+// ZIV paper: LRU, NRU, Random, SRRIP, Hawkeye (OPTgen-trained RRIP) and the
+// offline Belady MIN oracle.
+//
+// Policies are pure replacement-state machines over a (set, way) grid; the
+// cache substrate invokes the hooks and asks for a victim ranking. Ranking —
+// rather than a single victim — is exposed because several LLC victim-
+// selection schemes from the paper (QBS, SHARP, CHARonBase, ZIV) walk the
+// policy's preference order looking for a victim with particular properties.
+package policy
+
+// Meta carries the access context a policy may learn from.
+type Meta struct {
+	PC   uint64 // program counter of the access (Hawkeye trains on this)
+	Addr uint64 // block address being accessed/filled
+	Pos  uint64 // global access-stream position (MIN oracle index)
+}
+
+// Policy is the replacement-state machine contract. Implementations must be
+// deterministic given the same call sequence.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Init sizes the policy's state for a sets x ways geometry. It is called
+	// exactly once, before any other method.
+	Init(sets, ways int)
+	// OnHit records a hit at (set, way).
+	OnHit(set, way int, m Meta)
+	// OnFill records a fill of a previously invalid (set, way).
+	OnFill(set, way int, m Meta)
+	// OnEvict records that the block at (set, way) was replaced by the
+	// cache's own replacement decision (Hawkeye detrains on this).
+	OnEvict(set, way int)
+	// OnInvalidate records an externally forced removal (back-invalidation,
+	// coherence invalidation, relocation) of the block at (set, way).
+	OnInvalidate(set, way int)
+	// Rank returns the ways of set ordered best-victim-first. Only valid
+	// (filled) ways need a meaningful order; the cache consults invalid ways
+	// before ranking. The returned slice is reused across calls.
+	Rank(set int) []int
+	// Promote moves (set, way) to the most-protected position (MRU or
+	// RRPV 0) without any predictor training side effects. QBS uses this to
+	// move privately cached victim candidates out of harm's way (paper §II).
+	Promote(set, way int)
+}
+
+// RRPVer is implemented by RRIP-family policies (SRRIP, Hawkeye). The ZIV
+// MaxRRPV* relocation-set properties consult it.
+type RRPVer interface {
+	// RRPV returns the current re-reference prediction value at (set, way).
+	RRPV(set, way int) int
+	// MaxRRPV returns the distant-future RRPV value (2^bits - 1).
+	MaxRRPV() int
+}
+
+// LRUPositioner is implemented by recency-ordered policies. The ZIV
+// LRUNotInPrC property consults it.
+type LRUPositioner interface {
+	// LRUWay returns the way currently in the least-recently-used position
+	// of set (the next baseline victim among valid ways).
+	LRUWay(set int) int
+}
+
+// rankBuf is a reusable ranking buffer embedded by implementations.
+type rankBuf struct {
+	buf []int
+}
+
+func (r *rankBuf) ensure(ways int) []int {
+	if cap(r.buf) < ways {
+		r.buf = make([]int, ways)
+	}
+	r.buf = r.buf[:0]
+	return r.buf
+}

@@ -1,0 +1,85 @@
+package trace
+
+// SharedPattern selects how threads traverse the shared region of a
+// multi-threaded workload.
+type SharedPattern int
+
+// Shared-region traversal patterns.
+const (
+	// SharedUniform: random touches across the shared region (canneal-like
+	// graph traversal).
+	SharedUniform SharedPattern = iota
+	// SharedCircular: all threads sweep the shared region cyclically
+	// (applu-like structured grid sweeps).
+	SharedCircular
+	// SharedHot: a hot subset of the shared region gets most touches
+	// (facesim/vips-like, strong LLC reuse).
+	SharedHot
+)
+
+// SharedConfig describes a multi-threaded workload: every thread splits its
+// references between a common shared region and a thread-private region.
+type SharedConfig struct {
+	Threads      int
+	SharedBytes  uint64
+	PrivateBytes uint64 // per thread
+	SharedFrac   float64
+	Pattern      SharedPattern
+	HotFrac      float64 // SharedHot: fraction of shared refs to the hot 1/8th
+	WriteFrac    float64
+	GapMean      int
+	Seed         uint64
+}
+
+// NewSharedGroup builds one generator per thread over a common shared
+// address region starting at base. Thread-private regions follow the shared
+// region in the address space.
+func NewSharedGroup(base uint64, cfg SharedConfig) []Generator {
+	if cfg.Threads <= 0 {
+		panic("trace: SharedConfig needs at least one thread")
+	}
+	gens := make([]Generator, cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		seed := cfg.Seed*1000003 + uint64(t)*7919
+		var shared Generator
+		switch cfg.Pattern {
+		case SharedUniform:
+			shared = NewUniform(base, cfg.SharedBytes, cfg.WriteFrac, cfg.GapMean, seed)
+		case SharedCircular:
+			// Stride threads apart so sweeps are offset but overlapping.
+			c := NewCircular(base, cfg.SharedBytes/blockBytes, 1, cfg.WriteFrac, cfg.GapMean, seed)
+			// Offset each thread's starting position deterministically.
+			for i := 0; i < t*int(cfg.SharedBytes/blockBytes)/cfg.Threads; i++ {
+				c.Next()
+			}
+			shared = &offsetReset{Generator: c, skip: t * int(cfg.SharedBytes/blockBytes) / cfg.Threads}
+		case SharedHot:
+			hot := cfg.SharedBytes / 8
+			if hot < blockBytes {
+				hot = blockBytes
+			}
+			shared = NewHot(base, hot, cfg.SharedBytes-hot, cfg.HotFrac, cfg.WriteFrac, cfg.GapMean, seed)
+		default:
+			panic("trace: unknown shared pattern")
+		}
+		privBase := base + cfg.SharedBytes + uint64(t)*cfg.PrivateBytes
+		priv := NewHot(privBase, cfg.PrivateBytes/2, cfg.PrivateBytes/2, 0.8, cfg.WriteFrac, cfg.GapMean, seed^0x55aa)
+		gens[t] = NewBlend(seed^0x77, []Generator{shared, priv}, []float64{cfg.SharedFrac, 1 - cfg.SharedFrac})
+	}
+	return gens
+}
+
+// offsetReset re-applies a deterministic skip after Reset so phase offsets
+// between threads survive stream restarts.
+type offsetReset struct {
+	Generator
+	skip int
+}
+
+// Reset implements Generator.
+func (o *offsetReset) Reset() {
+	o.Generator.Reset()
+	for i := 0; i < o.skip; i++ {
+		o.Generator.Next()
+	}
+}

@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func collect(g Generator, n int) []Ref {
+	out := make([]Ref, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+func sameRefs(a, b []Ref) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGeneratorsDeterministicAndResettable(t *testing.T) {
+	mk := map[string]func() Generator{
+		"Stream":       func() Generator { return NewStream(0, 1<<16, 0.3, 4, 1) },
+		"Circular":     func() Generator { return NewCircular(0, 100, 2, 0.3, 4, 1) },
+		"Hot":          func() Generator { return NewHot(0, 1<<14, 1<<16, 0.9, 0.3, 4, 1) },
+		"PointerChase": func() Generator { return NewPointerChase(0, 1<<14, 0.3, 4, 1) },
+		"Uniform":      func() Generator { return NewUniform(0, 1<<16, 0.3, 4, 1) },
+		"Blend": func() Generator {
+			return NewBlend(9, []Generator{
+				NewStream(0, 1<<14, 0, 2, 1),
+				NewUniform(1<<20, 1<<14, 0, 2, 2),
+			}, []float64{1, 2})
+		},
+		"Phased": func() Generator {
+			return NewPhased([]Generator{
+				NewStream(0, 1<<14, 0, 2, 1),
+				NewCircular(1<<20, 64, 1, 0, 2, 2),
+			}, 10)
+		},
+	}
+	for name, f := range mk {
+		t.Run(name, func(t *testing.T) {
+			a := collect(f(), 500)
+			b := collect(f(), 500)
+			if !sameRefs(a, b) {
+				t.Fatal("two same-seed generators diverged")
+			}
+			g := f()
+			first := collect(g, 500)
+			g.Reset()
+			again := collect(g, 500)
+			if !sameRefs(first, again) {
+				t.Fatal("Reset did not rewind the stream")
+			}
+		})
+	}
+}
+
+func TestStreamSequential(t *testing.T) {
+	g := NewStream(0x1000, 4*64, 0, 0, 1)
+	want := []uint64{0x1000, 0x1040, 0x1080, 0x10c0, 0x1000}
+	for i, w := range want {
+		if r := g.Next(); r.Addr != w {
+			t.Fatalf("ref %d addr %#x, want %#x", i, r.Addr, w)
+		}
+	}
+}
+
+func TestCircularCycle(t *testing.T) {
+	g := NewCircular(0, 3, 1, 0, 0, 1)
+	seen := map[uint64]int{}
+	for i := 0; i < 9; i++ {
+		seen[g.Next().Addr]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("circular over 3 blocks touched %d addresses", len(seen))
+	}
+	for a, n := range seen {
+		if n != 3 {
+			t.Errorf("address %#x touched %d times, want 3", a, n)
+		}
+	}
+}
+
+func TestCircularStrideSpreadsSets(t *testing.T) {
+	g := NewCircular(0, 4, 16, 0, 0, 1)
+	a0 := g.Next().Addr
+	a1 := g.Next().Addr
+	if a1-a0 != 16*64 {
+		t.Errorf("stride-16 delta = %d bytes", a1-a0)
+	}
+}
+
+func TestHotFractionRoughlyHolds(t *testing.T) {
+	g := NewHot(0, 1<<12, 1<<20, 0.9, 0, 0, 42)
+	hot := 0
+	n := 10000
+	for i := 0; i < n; i++ {
+		if g.Next().Addr < 1<<12 {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(n)
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("hot fraction = %v, want ~0.9", frac)
+	}
+}
+
+func TestPointerChaseVisitsAllBlocks(t *testing.T) {
+	blocks := 64
+	g := NewPointerChase(0, uint64(blocks*64), 0, 0, 5)
+	seen := map[uint64]bool{}
+	for i := 0; i < blocks; i++ {
+		seen[g.Next().Addr] = true
+	}
+	if len(seen) != blocks {
+		t.Fatalf("pointer chase visited %d/%d blocks in one round (not a single cycle)", len(seen), blocks)
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	g := NewUniform(0, 1<<16, 0.25, 0, 7)
+	writes := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(n)
+	if frac < 0.2 || frac > 0.3 {
+		t.Errorf("write fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestGapMean(t *testing.T) {
+	g := NewStream(0, 1<<16, 0, 10, 3)
+	total := 0
+	n := 5000
+	for i := 0; i < n; i++ {
+		total += int(g.Next().Gap)
+	}
+	mean := float64(total) / float64(n)
+	if mean < 8 || mean > 12 {
+		t.Errorf("gap mean = %v, want ~10", mean)
+	}
+}
+
+func TestBlendAddressSpaces(t *testing.T) {
+	g := NewBlend(5, []Generator{
+		NewStream(0, 1<<12, 0, 0, 1),
+		NewStream(1<<30, 1<<12, 0, 0, 2),
+	}, []float64{1, 1})
+	lo, hi := 0, 0
+	for i := 0; i < 1000; i++ {
+		if g.Next().Addr >= 1<<30 {
+			hi++
+		} else {
+			lo++
+		}
+	}
+	if lo == 0 || hi == 0 {
+		t.Fatal("blend never picked one of its sub-generators")
+	}
+}
+
+func TestPhasedSwitching(t *testing.T) {
+	g := NewPhased([]Generator{
+		NewStream(0, 1<<12, 0, 0, 1),
+		NewStream(1<<30, 1<<12, 0, 0, 2),
+	}, 5)
+	for i := 0; i < 5; i++ {
+		if g.Next().Addr >= 1<<30 {
+			t.Fatal("phase 0 emitted phase-1 addresses")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if g.Next().Addr < 1<<30 {
+			t.Fatal("phase 1 emitted phase-0 addresses")
+		}
+	}
+}
+
+func TestCanonicalStreamInterleaving(t *testing.T) {
+	g0 := NewStream(0, 4*64, 0, 0, 1)
+	g1 := NewStream(1<<20, 4*64, 0, 0, 2)
+	s := CanonicalStream([]trGen{g0, g1}[:], 3)
+	if len(s) != 6 {
+		t.Fatalf("stream length %d, want 6", len(s))
+	}
+	// Round-robin: positions 0,2,4 from core 0; 1,3,5 from core 1.
+	for i := 0; i < 6; i += 2 {
+		if s[i] >= (1<<20)/64 {
+			t.Fatalf("position %d should belong to core 0", i)
+		}
+	}
+	for i := 1; i < 6; i += 2 {
+		if s[i] < (1<<20)/64 {
+			t.Fatalf("position %d should belong to core 1", i)
+		}
+	}
+	// Generators must be rewound afterwards.
+	if g0.Next().Addr != 0 {
+		t.Fatal("CanonicalStream left generator 0 unrewound")
+	}
+}
+
+type trGen = Generator
+
+func TestSharedGroupSharing(t *testing.T) {
+	for _, pat := range []SharedPattern{SharedUniform, SharedCircular, SharedHot} {
+		gens := NewSharedGroup(0, SharedConfig{
+			Threads: 4, SharedBytes: 1 << 16, PrivateBytes: 1 << 14,
+			SharedFrac: 0.6, Pattern: pat, HotFrac: 0.8, WriteFrac: 0.2, GapMean: 3, Seed: 9,
+		})
+		if len(gens) != 4 {
+			t.Fatal("wrong thread count")
+		}
+		touched := make([]map[uint64]bool, 4)
+		sharedRefs := 0
+		for tid, g := range gens {
+			touched[tid] = map[uint64]bool{}
+			for i := 0; i < 2000; i++ {
+				r := g.Next()
+				if r.Addr < 1<<16 {
+					sharedRefs++
+					touched[tid][r.Addr/64] = true
+				}
+			}
+		}
+		if sharedRefs == 0 {
+			t.Fatalf("pattern %d: no shared references", pat)
+		}
+		// Some block must be touched by at least two threads.
+		common := false
+		for a := range touched[0] {
+			for tid := 1; tid < 4 && !common; tid++ {
+				if touched[tid][a] {
+					common = true
+				}
+			}
+		}
+		if !common {
+			t.Errorf("pattern %d: no cross-thread sharing observed", pat)
+		}
+		// Reset must reproduce the stream (offsets included).
+		gens[2].Reset()
+		first := collect(gens[2], 100)
+		gens[2].Reset()
+		if !sameRefs(first, collect(gens[2], 100)) {
+			t.Errorf("pattern %d: thread generator not resettable", pat)
+		}
+	}
+}
+
+// Property: every generator stays within its address region.
+func TestAddressBoundsProperty(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint16) bool {
+		size := (uint64(sizeRaw%64) + 2) * 4096
+		base := uint64(1) << 32
+		gens := []Generator{
+			NewStream(base, size, 0.3, 3, seed),
+			NewCircular(base, size/64, 1, 0.3, 3, seed),
+			NewHot(base, size/2, size/2, 0.9, 0.3, 3, seed),
+			NewPointerChase(base, size, 0.3, 3, seed),
+			NewUniform(base, size, 0.3, 3, seed),
+		}
+		for _, g := range gens {
+			for i := 0; i < 300; i++ {
+				a := g.Next().Addr
+				if a < base || a >= base+size+64 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package trace
+
+// Translated wraps a generator with a virtual-to-physical page translation:
+// a keyed bijective scramble of 4 KB page frames within a 48-bit physical
+// address space. Without it, every application's regions are base-aligned
+// and all cores' working sets collapse onto the same LLC and sparse-
+// directory sets — a pathology real systems avoid through physical page
+// allocation. One key is used per simulated machine so that distinct
+// virtual pages always map to distinct frames (the scramble is a bijection),
+// preserving sharing relationships exactly.
+type Translated struct {
+	inner Generator
+	key   uint64
+}
+
+const (
+	pageBits  = 12
+	frameBits = 48 - pageBits
+	frameMask = (uint64(1) << frameBits) - 1
+)
+
+// Translate wraps g with the page scramble keyed by key.
+func Translate(g Generator, key uint64) *Translated {
+	return &Translated{inner: g, key: key}
+}
+
+// frameOf maps a virtual page to its physical frame: xor with the key, then
+// invertible mix steps (odd multiply and xor-shift), all within the frame
+// width, so the mapping is a bijection on the 36-bit frame space.
+func frameOf(page, key uint64) uint64 {
+	p := (page ^ key) & frameMask
+	p = (p * 0x9E3779B97F4A7C15) & frameMask // odd multiplier: invertible mod 2^36
+	p ^= p >> 17                             // xor-shift: invertible
+	p = (p * 0xBF58476D1CE4E5B9) & frameMask
+	p ^= p >> 23
+	return p & frameMask
+}
+
+// Next implements Generator.
+func (t *Translated) Next() Ref {
+	r := t.inner.Next()
+	page := r.Addr >> pageBits
+	offset := r.Addr & ((1 << pageBits) - 1)
+	r.Addr = frameOf(page, t.key)<<pageBits | offset
+	return r
+}
+
+// Reset implements Generator.
+func (t *Translated) Reset() { t.inner.Reset() }
+
+// TranslateAll wraps every generator with the same key, preserving
+// cross-thread sharing.
+func TranslateAll(gens []Generator, key uint64) []Generator {
+	out := make([]Generator, len(gens))
+	for i, g := range gens {
+		out[i] = Translate(g, key)
+	}
+	return out
+}

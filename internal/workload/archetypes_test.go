@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"zivsim/internal/trace"
+)
+
+// footprint measures the unique blocks an app touches over n references.
+func footprint(g trace.Generator, n int) int {
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		seen[g.Next().Addr/64] = true
+	}
+	return len(seen)
+}
+
+// TestArchetypeFootprintContracts pins each family's capacity regime — the
+// property the paper's dynamics depend on (DESIGN.md §4).
+func TestArchetypeFootprintContracts(t *testing.T) {
+	p := Params{L2Bytes: 64 << 10, LLCShareBytes: 128 << 10, BaseL2Bytes: 32 << 10}
+	l2Blocks := int(p.BaseL2Bytes / 64)      // 512
+	shareBlocks := int(p.LLCShareBytes / 64) // 2048
+
+	cases := []struct {
+		app    string
+		refs   int
+		lo, hi int // unique-block bounds
+	}{
+		// circ.llc.a: exactly 10/8 of the LLC share.
+		{"circ.llc.a", 4 * shareBlocks, shareBlocks * 10 / 8, shareBlocks*10/8 + 1},
+		// circ.l2.a: exactly 10/8 of the base L2.
+		{"circ.l2.a", 4 * l2Blocks, l2Blocks * 10 / 8, l2Blocks*10/8 + 1},
+		// hot.fit.a: hot set of 4/8 base L2; drift doubles the touched area
+		// over a long run but the instantaneous set stays small. Over a
+		// short run the footprint must stay well under the base L2.
+		{"hot.fit.a", 2000, 1, l2Blocks},
+		// stream.a: 2x the LLC share, touched sequentially.
+		{"stream.a", 2 * shareBlocks, 2 * shareBlocks, 2*shareBlocks + 1},
+	}
+	for _, tc := range cases {
+		app, ok := AppByName(tc.app)
+		if !ok {
+			t.Fatalf("unknown app %s", tc.app)
+		}
+		g := app.Build(1<<40, 7, p)
+		got := footprint(g, tc.refs)
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("%s footprint over %d refs = %d blocks, want [%d, %d]",
+				tc.app, tc.refs, got, tc.lo, tc.hi)
+		}
+	}
+}
+
+// TestFamilyCoverage checks the archetype suite spans the behaviours the
+// paper's workload population needs: 12 families x 3 variants.
+func TestFamilyCoverage(t *testing.T) {
+	families := map[string]int{}
+	for _, name := range AppNames() {
+		fam := name[:strings.LastIndex(name, ".")]
+		families[fam]++
+	}
+	if len(families) != 12 {
+		t.Fatalf("family count = %d, want 12 (%v)", len(families), families)
+	}
+	for fam, n := range families {
+		if n != 3 {
+			t.Errorf("family %s has %d variants, want 3", fam, n)
+		}
+	}
+	for _, want := range []string{"stream", "circ.llc", "circ.l2", "hot.fit", "hot.mid", "wset.llc", "ptr", "rand", "blend", "phase", "wr", "circ.wide"} {
+		if families[want] != 3 {
+			t.Errorf("missing family %q", want)
+		}
+	}
+}
+
+// TestFootprintsScaleWithMachine verifies the scale-invariance contract: at
+// half the machine size, footprints halve.
+func TestFootprintsScaleWithMachine(t *testing.T) {
+	big := Params{L2Bytes: 64 << 10, LLCShareBytes: 128 << 10, BaseL2Bytes: 32 << 10}
+	small := Params{L2Bytes: 32 << 10, LLCShareBytes: 64 << 10, BaseL2Bytes: 16 << 10}
+	app, _ := AppByName("circ.llc.a")
+	fb := footprint(app.Build(1<<40, 7, big), 3*2048)
+	fs := footprint(app.Build(1<<40, 7, small), 3*2048)
+	if fb != 2*fs {
+		t.Errorf("footprints %d vs %d: not 2:1 under machine scaling", fb, fs)
+	}
+}
+
+// TestMixGeneratorsDeterministicAcrossBuilds pins the reproducibility
+// contract for the harness cache.
+func TestMixGeneratorsDeterministicAcrossBuilds(t *testing.T) {
+	p := Params{L2Bytes: 64 << 10, LLCShareBytes: 128 << 10, BaseL2Bytes: 32 << 10}
+	mix := Mix{Name: "t", Apps: []string{"rand.a", "phase.a"}}
+	a := BuildMix(mix, p, 9)
+	b := BuildMix(mix, p, 9)
+	for i := range a {
+		for j := 0; j < 300; j++ {
+			if a[i].Next() != b[i].Next() {
+				t.Fatalf("generator %d diverged at ref %d", i, j)
+			}
+		}
+	}
+}
+
+func TestTPCEScalesWithThreads(t *testing.T) {
+	p := Params{L2Bytes: 16 << 10, LLCShareBytes: 32 << 10, BaseL2Bytes: 16 << 10}
+	w, _ := MTByName("tpce")
+	for _, threads := range []int{2, 8, 32} {
+		gens := w.Build(threads, p, 3)
+		if len(gens) != threads {
+			t.Fatalf("tpce built %d generators for %d threads", len(gens), threads)
+		}
+	}
+}

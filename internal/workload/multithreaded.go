@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"zivsim/internal/trace"
+)
+
+// MTWorkload is a named multi-threaded workload archetype (substitutes for
+// the paper's canneal, facesim, vips, 316.applu and TPC-E runs — see
+// DESIGN.md §4).
+type MTWorkload struct {
+	Name string
+	// Build returns one generator per thread.
+	Build func(threads int, p Params, seed uint64) []trace.Generator
+}
+
+// translated wraps an MT builder so every thread shares one page
+// translation (preserving sharing) — see trace.Translate.
+func translated(build func(threads int, p Params, seed uint64) []trace.Generator) func(int, Params, uint64) []trace.Generator {
+	return func(threads int, p Params, seed uint64) []trace.Generator {
+		return trace.TranslateAll(build(threads, p, seed), seed^0xd1f7a9c3)
+	}
+}
+
+// MTWorkloads returns the multi-threaded archetypes in deterministic order.
+func MTWorkloads() []MTWorkload {
+	return []MTWorkload{
+		{
+			// canneal-like: enormous shared graph traversed randomly; LLC
+			// misses dominate; little sensitivity to inclusion victims.
+			Name: "canneal",
+			Build: translated(func(threads int, p Params, seed uint64) []trace.Generator {
+				return trace.NewSharedGroup(1<<40, trace.SharedConfig{
+					Threads:      threads,
+					SharedBytes:  8 * uint64(threads) * p.LLCShareBytes,
+					PrivateBytes: p.BaseL2Bytes / 2,
+					SharedFrac:   0.8,
+					Pattern:      trace.SharedUniform,
+					WriteFrac:    0.15,
+					GapMean:      3,
+					Seed:         seed,
+				})
+			}),
+		},
+		{
+			// facesim-like: LLC-resident shared working set with strong
+			// reuse; QBS/SHARP sacrifice its LLC hits (paper §V-B).
+			Name: "facesim",
+			Build: translated(func(threads int, p Params, seed uint64) []trace.Generator {
+				return trace.NewSharedGroup(1<<40, trace.SharedConfig{
+					Threads:      threads,
+					SharedBytes:  6 * uint64(threads) * p.LLCShareBytes / 8,
+					PrivateBytes: 2 * p.BaseL2Bytes,
+					SharedFrac:   0.7,
+					Pattern:      trace.SharedHot,
+					HotFrac:      0.85,
+					WriteFrac:    0.25,
+					GapMean:      4,
+					Seed:         seed,
+				})
+			}),
+		},
+		{
+			// vips-like: streaming image pipeline with a modest shared hot
+			// structure; also LLC-reuse heavy relative to its inclusion-
+			// victim sensitivity.
+			Name: "vips",
+			Build: translated(func(threads int, p Params, seed uint64) []trace.Generator {
+				gens := trace.NewSharedGroup(1<<40, trace.SharedConfig{
+					Threads:      threads,
+					SharedBytes:  4 * uint64(threads) * p.LLCShareBytes / 8,
+					PrivateBytes: p.BaseL2Bytes,
+					SharedFrac:   0.5,
+					Pattern:      trace.SharedHot,
+					HotFrac:      0.9,
+					WriteFrac:    0.35,
+					GapMean:      3,
+					Seed:         seed,
+				})
+				// Each thread also streams its private image stripe.
+				out := make([]trace.Generator, threads)
+				for t := range gens {
+					stripe := trace.NewStream(uint64(2)<<40+uint64(t)<<32, 2*p.LLCShareBytes, 0.4, 3, seed+uint64(t))
+					out[t] = trace.NewBlend(seed^uint64(t), []trace.Generator{gens[t], stripe}, []float64{2, 1})
+				}
+				return out
+			}),
+		},
+		{
+			// 316.applu-like: structured-grid sweeps — circular shared
+			// traversal somewhat larger than the LLC; strongly sensitive to
+			// inclusion victims under MIN-like policies.
+			Name: "applu",
+			Build: translated(func(threads int, p Params, seed uint64) []trace.Generator {
+				return trace.NewSharedGroup(1<<40, trace.SharedConfig{
+					Threads:      threads,
+					SharedBytes:  10 * uint64(threads) * p.LLCShareBytes / 8,
+					PrivateBytes: p.BaseL2Bytes / 2,
+					SharedFrac:   0.85,
+					Pattern:      trace.SharedCircular,
+					WriteFrac:    0.3,
+					GapMean:      2,
+					Seed:         seed,
+				})
+			}),
+		},
+		{
+			// TPC-E-like: transaction processing — a hot shared index/buffer
+			// pool plus a long uniform tail over a large database; intended
+			// for the 128-core configuration.
+			Name: "tpce",
+			Build: translated(func(threads int, p Params, seed uint64) []trace.Generator {
+				hotGroup := trace.NewSharedGroup(1<<40, trace.SharedConfig{
+					Threads:      threads,
+					SharedBytes:  4 * uint64(threads) * p.LLCShareBytes / 8,
+					PrivateBytes: p.BaseL2Bytes,
+					SharedFrac:   0.6,
+					Pattern:      trace.SharedHot,
+					HotFrac:      0.8,
+					WriteFrac:    0.3,
+					GapMean:      5,
+					Seed:         seed,
+				})
+				out := make([]trace.Generator, threads)
+				for t := range hotGroup {
+					tail := trace.NewUniform(uint64(3)<<40, 16*uint64(threads)*p.LLCShareBytes, 0.2, 5, seed*31+uint64(t))
+					out[t] = trace.NewBlend(seed^0xbeef^uint64(t), []trace.Generator{hotGroup[t], tail}, []float64{3, 1})
+				}
+				return out
+			}),
+		},
+	}
+}
+
+// MTByName finds a multi-threaded archetype.
+func MTByName(name string) (MTWorkload, bool) {
+	for _, w := range MTWorkloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return MTWorkload{}, false
+}
+
+// MTNames returns the archetype names.
+func MTNames() []string {
+	ws := MTWorkloads()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}

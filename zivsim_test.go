@@ -1,0 +1,90 @@
+package zivsim
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the public API exactly as the README shows.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := DefaultConfig(4, 256<<10, 64)
+	cfg.Policy = PolicyHawkeye
+	cfg.Scheme = SchemeZIV
+	cfg.Property = PropMaxRRPVLikelyDead
+	cfg.DebugChecks = true
+	cfg.CheckEvery = 1024
+
+	mix := HeterogeneousMixes(4, 1, 42)[0]
+	p := Params{
+		L2Bytes:       uint64(cfg.L2Bytes),
+		LLCShareBytes: uint64(cfg.LLCBytes / 4),
+		BaseL2Bytes:   uint64(cfg.L2Bytes),
+	}
+	m := NewMachine(cfg, BuildMix(mix, p, 42), 2000, 10000)
+	m.Run()
+
+	if got := m.InclusionVictimTotal(); got != 0 {
+		t.Fatalf("ZIV produced %d inclusion victims through the facade", got)
+	}
+	if err := m.CheckInclusion(); err != nil {
+		t.Fatal(err)
+	}
+	stats := m.CoreStats()
+	if len(stats) != 4 {
+		t.Fatalf("CoreStats length = %d", len(stats))
+	}
+	if ws := WeightedSpeedup(stats, stats); ws != 1.0 {
+		t.Errorf("self-speedup = %v, want 1.0", ws)
+	}
+	if Throughput(stats) <= 0 {
+		t.Error("throughput not positive")
+	}
+}
+
+func TestFacadeWorkloadHelpers(t *testing.T) {
+	if len(Apps()) != 36 || len(AppNames()) != 36 {
+		t.Error("facade app helpers disagree with workload package")
+	}
+	if len(HomogeneousMixes(8)) != 36 {
+		t.Error("HomogeneousMixes facade broken")
+	}
+	mixes := HeterogeneousMixes(8, 3, 7)
+	if len(mixes) != 3 {
+		t.Error("HeterogeneousMixes facade broken")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	gens := []Generator{
+		NewStream(0, 1<<12, 0.2, 2, 1),
+		NewCircular(1<<20, 32, 1, 0.2, 2, 1),
+		NewHot(2<<20, 1<<10, 1<<12, 0.9, 0.2, 2, 1),
+		NewUniform(3<<20, 1<<12, 0.2, 2, 1),
+		NewPointerChase(4<<20, 1<<12, 0.2, 2, 1),
+	}
+	for i, g := range gens {
+		tr := Translate(g, 9)
+		for j := 0; j < 50; j++ {
+			if r := tr.Next(); r.Addr >= 1<<48 {
+				t.Errorf("generator %d produced out-of-range address %#x", i, r.Addr)
+			}
+		}
+		tr.Reset()
+	}
+}
+
+// TestModeAndSchemeConstants pins the re-exported constants to their
+// implementation values (a facade drift guard).
+func TestModeAndSchemeConstants(t *testing.T) {
+	if Inclusive.String() != "I" || NonInclusive.String() != "NI" {
+		t.Error("inclusion mode constants drifted")
+	}
+	if SchemeZIV.String() != "ZIV" || SchemeQBS.String() != "QBS" {
+		t.Error("scheme constants drifted")
+	}
+	if PropLikelyDead.String() != "LikelyDead" || PropMaxRRPVLikelyDead.String() != "MRLikelyDead" {
+		t.Error("property constants drifted")
+	}
+	if PolicyHawkeye.String() != "Hawkeye" || PolicyMIN.String() != "MIN" {
+		t.Error("policy constants drifted")
+	}
+}
