@@ -1,0 +1,27 @@
+# Targets mirror .github/workflows/ci.yml so local runs match the gates.
+
+GO ?= go
+
+.PHONY: all build vet lint test race fuzz ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/zivlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+fuzz:
+	$(GO) test -fuzz=FuzzScheme -fuzztime=20s ./internal/core
+
+ci: build vet lint test race

@@ -1,0 +1,28 @@
+// Command zivlint is the project's static-analysis suite: a multichecker
+// over the four zivsim-specific analyzers that keep the simulator
+// deterministic and its runtime invariant checks sound.
+//
+//	zivlint ./...          # analyze the whole module (CI default)
+//	zivlint help           # list analyzers
+//
+// Exit status is 0 when clean, 1 when any analyzer reports a finding,
+// and 2 on load errors. Individual findings can be waived in source with
+// //zivlint:ignore <analyzer> <reason>.
+package main
+
+import (
+	"zivsim/internal/analysis/blockmutation"
+	"zivsim/internal/analysis/framework"
+	"zivsim/internal/analysis/nodeterminism"
+	"zivsim/internal/analysis/statreset"
+	"zivsim/internal/analysis/uncheckedinvariant"
+)
+
+func main() {
+	framework.Main(
+		blockmutation.Analyzer,
+		nodeterminism.Analyzer,
+		statreset.Analyzer,
+		uncheckedinvariant.Analyzer,
+	)
+}

@@ -1,0 +1,179 @@
+// Package analysistest runs a zivlint analyzer against fixture packages
+// and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live in a GOPATH-style tree: testdata/src/<import/path>/*.go.
+// The fixture's import path controls how the analyzer classifies the
+// package (e.g. a fixture under testdata/src/zivsim/internal/core/x is
+// treated as simulation-core code by the nodeterminism analyzer), and its
+// imports — standard library or real zivsim packages — are resolved from
+// compiler export data, so fixtures can exercise analyzers against the
+// genuine core.Block and directory.Directory types.
+//
+// Each expected diagnostic is declared on its offending line:
+//
+//	for k := range m { // want `map range`
+//	    _ = k
+//	}
+//
+// The text between backquotes (or in a quoted string) is a regular
+// expression that must match the diagnostic's message. Every diagnostic
+// must be matched by a want comment and vice versa.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"zivsim/internal/analysis/framework"
+)
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package under testdata/src, applies the
+// analyzer, and reports mismatches between actual diagnostics and the
+// fixtures' want comments.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkgPath := range pkgPaths {
+		pkg, err := loadFixture(testdata, pkgPath)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", pkgPath, err)
+			continue
+		}
+		diags, err := framework.RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, pkgPath, err)
+			continue
+		}
+		check(t, pkg, diags)
+	}
+}
+
+// loadFixture parses and type-checks one GOPATH-style fixture package.
+func loadFixture(testdata, pkgPath string) (*framework.Package, error) {
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[path] = true
+			}
+		}
+	}
+	imp, err := fixtureImporter(fset, imports)
+	if err != nil {
+		return nil, err
+	}
+	info := framework.NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture: %v", err)
+	}
+	return &framework.Package{
+		PkgPath: pkgPath,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// fixtureImporter resolves the fixture's imports (stdlib and module
+// packages alike) from `go list -export` data. The go command runs with
+// the test's working directory, which lies inside the zivsim module, so
+// zivsim/... import paths resolve without any network access.
+func fixtureImporter(fset *token.FileSet, imports map[string]bool) (types.Importer, error) {
+	var paths []string
+	for p := range imports {
+		if p != "unsafe" {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	return framework.ExportImporterFor(fset, paths)
+}
+
+// check matches diagnostics against want expectations.
+func check(t *testing.T, pkg *framework.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				raw := m[1]
+				var pattern string
+				if raw[0] == '`' {
+					pattern = raw[1 : len(raw)-1]
+				} else {
+					var err error
+					pattern, err = strconv.Unquote(raw)
+					if err != nil {
+						t.Errorf("%s: bad want string %s", pkg.Fset.Position(c.Slash), raw)
+						continue
+					}
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Errorf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Slash), pattern, err)
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	for _, d := range diags {
+		found := false
+		for _, e := range expects {
+			if !e.matched && e.file == d.Pos.Filename && e.line == d.Pos.Line && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package blockmutation guards the core.Block fields whose values are
+// mirrored in external structures: Valid, Relocated and Addr are shadowed
+// by the per-bank tag sidecar, and Relocated/NotInPrC participate in the
+// directory linkage that core.CheckInvariants validates. A stray write to
+// any of them desynchronizes state that the runtime checks assume only
+// the LLC's fill/eviction/accessor code touches.
+//
+// Rules:
+//
+//   - Outside the declaring package (zivsim/internal/core), any write to
+//     Block.Valid, .Relocated, .NotInPrC or .Addr is flagged — including
+//     writes to copies (BlockAt returns a copy; mutating it is a silent
+//     no-op that almost always indicates a bypass attempt). Mutate LLC
+//     state through the exported accessor API instead.
+//   - Inside the declaring package, writes to Valid, Relocated and Addr
+//     must go through whole-struct assignments (*b = Block{...}), which
+//     the fill/eviction paths pair with a tag-sidecar update; direct
+//     field writes are flagged. NotInPrC may be written directly, but
+//     only inside the designated accessors (Access, MarkNotInPrC).
+//
+// A finding can be waived with //zivlint:ignore blockmutation <reason>.
+package blockmutation
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"zivsim/internal/analysis/framework"
+)
+
+// Analyzer is the blockmutation analysis.
+var Analyzer = &framework.Analyzer{
+	Name: "blockmutation",
+	Doc:  "flags direct writes to core.Block invariant fields outside the sanctioned accessors",
+	Run:  run,
+}
+
+// guardedFields are the Block fields with external mirrors or linkage.
+var guardedFields = map[string]bool{
+	"Valid":     true,
+	"Relocated": true,
+	"NotInPrC":  true,
+	"Addr":      true,
+}
+
+// notInPrCAccessors are the owning-package functions allowed to write
+// Block.NotInPrC directly.
+var notInPrCAccessors = map[string]bool{
+	"Access":       true,
+	"MarkNotInPrC": true,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkWrite(pass, fn, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkWrite(pass, fn, n.X)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// checkWrite reports lhs when it is a guarded field of core.Block written
+// outside the sanctioned locations.
+func checkWrite(pass *framework.Pass, fn *ast.FuncDecl, lhs ast.Expr) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok || !guardedFields[sel.Sel.Name] {
+		return
+	}
+	field, ok := pass.TypesInfo.Selections[sel]
+	if !ok || field.Kind() != types.FieldVal {
+		return
+	}
+	named := blockRecv(field.Recv())
+	if named == nil {
+		return
+	}
+	owner := named.Obj().Pkg()
+	if owner == nil {
+		return
+	}
+	if owner != pass.Pkg {
+		pass.Reportf(sel.Pos(),
+			"direct write to core.Block.%s outside %s bypasses the tag sidecar and directory invariants; use the LLC accessor API",
+			sel.Sel.Name, owner.Path())
+		return
+	}
+	// Owning package: NotInPrC has designated accessors; the other fields
+	// must be written via whole-struct fill/eviction assignments.
+	if sel.Sel.Name == "NotInPrC" {
+		if !notInPrCAccessors[fn.Name.Name] {
+			pass.Reportf(sel.Pos(),
+				"core.Block.NotInPrC may only be written by the designated accessors (Access, MarkNotInPrC), not %s", fn.Name.Name)
+		}
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"core.Block.%s must be written via a whole-struct fill/eviction assignment (*b = Block{...}) so the tag sidecar stays in sync, not by a direct field write in %s",
+		sel.Sel.Name, fn.Name.Name)
+}
+
+// blockRecv unwraps recv to the named type core.Block, or nil.
+func blockRecv(recv types.Type) *types.Named {
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Block" {
+		return nil
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || !strings.HasSuffix(pkg.Path(), "internal/core") {
+		return nil
+	}
+	return named
+}

@@ -1,0 +1,15 @@
+package blockmutation_test
+
+import (
+	"testing"
+
+	"zivsim/internal/analysis/analysistest"
+	"zivsim/internal/analysis/blockmutation"
+)
+
+func TestBlockmutation(t *testing.T) {
+	analysistest.Run(t, "testdata", blockmutation.Analyzer,
+		"example.com/internal/core",
+		"zivsim/internal/hierarchy/fixture",
+	)
+}

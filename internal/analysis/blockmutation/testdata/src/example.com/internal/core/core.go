@@ -1,0 +1,54 @@
+// Package core mimics the owning package of Block (its import path ends
+// in internal/core), exercising the in-package blockmutation rules.
+package core
+
+// Block mirrors zivsim/internal/core.Block's guarded fields.
+type Block struct {
+	Valid     bool
+	Dirty     bool
+	Relocated bool
+	NotInPrC  bool
+	Addr      uint64
+}
+
+// LLC is a minimal owner with blocks and a tag sidecar.
+type LLC struct {
+	blocks []Block
+	tags   []uint64
+}
+
+// Access is a designated accessor: the NotInPrC write is sanctioned.
+func (l *LLC) Access(i int) {
+	l.blocks[i].NotInPrC = false
+}
+
+// MarkNotInPrC is the other designated accessor.
+func (l *LLC) MarkNotInPrC(i int) {
+	l.blocks[i].NotInPrC = true
+}
+
+// fillWay uses the sanctioned whole-struct assignment and keeps the tag
+// sidecar in sync — nothing to flag.
+func (l *LLC) fillWay(i int, addr uint64) {
+	b := &l.blocks[i]
+	*b = Block{Valid: true, Addr: addr}
+	l.tags[i] = addr
+}
+
+// sneakyInvalidate writes guarded fields directly inside the owning
+// package, desynchronizing the tag sidecar.
+func (l *LLC) sneakyInvalidate(i int) {
+	l.blocks[i].Valid = false     // want `core\.Block\.Valid must be written via a whole-struct fill/eviction assignment`
+	l.blocks[i].Relocated = false // want `core\.Block\.Relocated must be written via a whole-struct fill/eviction assignment`
+	l.blocks[i].Addr = 0          // want `core\.Block\.Addr must be written via a whole-struct fill/eviction assignment`
+}
+
+// sneakyMark writes NotInPrC outside the designated accessors.
+func (l *LLC) sneakyMark(i int) {
+	l.blocks[i].NotInPrC = true // want `core\.Block\.NotInPrC may only be written by the designated accessors`
+}
+
+// markDirty touches an unguarded field: always fine.
+func (l *LLC) markDirty(i int) {
+	l.blocks[i].Dirty = true
+}

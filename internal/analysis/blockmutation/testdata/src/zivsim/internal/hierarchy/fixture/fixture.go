@@ -1,0 +1,33 @@
+// Package fixture exercises blockmutation from outside the owning
+// package, against the real zivsim/internal/core types.
+package fixture
+
+import (
+	"zivsim/internal/core"
+	"zivsim/internal/directory"
+)
+
+// Smuggle mutates a copy of an LLC block: a silent no-op that the
+// analyzer treats as a bypass attempt.
+func Smuggle(l *core.LLC, loc directory.Location) core.Block {
+	b := l.BlockAt(loc)
+	b.Valid = false   // want `direct write to core\.Block\.Valid outside zivsim/internal/core`
+	b.NotInPrC = true // want `direct write to core\.Block\.NotInPrC outside zivsim/internal/core`
+	return b
+}
+
+// Forge builds a Block value field by field.
+func Forge(addr uint64) core.Block {
+	var b core.Block
+	b.Addr = addr // want `direct write to core\.Block\.Addr outside zivsim/internal/core`
+	return b
+}
+
+// Sanctioned drives LLC state through the accessor API and touches only
+// unguarded fields of copies — nothing to flag.
+func Sanctioned(l *core.LLC, loc directory.Location, addr uint64) bool {
+	b := l.BlockAt(loc)
+	b.Dirty = true
+	b.LikelyDead = false
+	return l.MarkDirty(addr)
+}

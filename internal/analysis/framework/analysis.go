@@ -1,0 +1,156 @@
+// Package framework is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that zivlint's analyzers are
+// written against. The build environment for this repository is offline
+// (no module proxy), so the subset we need — Analyzer, Pass, diagnostics,
+// a multichecker driver and an analysistest-style fixture runner — is
+// implemented here on top of the standard library (go/ast, go/types, and
+// `go list -export` for dependency type information).
+//
+// The API is deliberately shape-compatible with x/tools: an analyzer is a
+// value with Name, Doc and Run(*Pass), and Pass exposes Fset, Files, Pkg
+// and TypesInfo. Migrating to the real framework later is a mechanical
+// import swap.
+//
+// Suppression: a diagnostic from analyzer NAME is suppressed when the
+// offending line (or the line directly above it) carries a comment of the
+// form
+//
+//	//zivlint:ignore NAME reason...
+//
+// The reason is mandatory by convention but not enforced.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer (the subset zivlint needs).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //zivlint:ignore directives. It must be a valid Go identifier.
+	Name string
+	// Doc is the analyzer's documentation, printed by `zivlint help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+// String formats the diagnostic the way `go vet` does, with the analyzer
+// name appended.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one (analyzer, package) unit of work. It mirrors
+// golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test files only, with comments
+	Pkg       *types.Package
+	PkgPath   string
+	TypesInfo *types.Info
+
+	ignores map[ignoreKey]bool
+	diags   *[]Diagnostic
+}
+
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+var ignoreRe = regexp.MustCompile(`^//zivlint:ignore\s+([A-Za-z0-9_,]+)`)
+
+// buildIgnores scans every file's comments for //zivlint:ignore
+// directives. A directive applies to its own line (end-of-line comment)
+// and to the following line (standalone comment above the offending
+// statement).
+func buildIgnores(fset *token.FileSet, files []*ast.File) map[ignoreKey]bool {
+	ig := make(map[ignoreKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				for _, name := range strings.Split(m[1], ",") {
+					ig[ignoreKey{pos.Filename, pos.Line, name}] = true
+					ig[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return ig
+}
+
+// Reportf records a diagnostic at pos unless an ignore directive covers
+// it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignores[ignoreKey{position.Filename, position.Line, p.Analyzer.Name}] ||
+		p.ignores[ignoreKey{position.Filename, position.Line, "all"}] {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// RunAnalyzer applies a to one loaded package and returns its
+// diagnostics sorted by position. It is the single entry point shared by
+// the multichecker driver and the analysistest fixture runner, so both
+// observe identical directive-suppression behavior.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		PkgPath:   pkg.PkgPath,
+		TypesInfo: pkg.Info,
+		ignores:   buildIgnores(pkg.Fset, pkg.Files),
+		diags:     &diags,
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

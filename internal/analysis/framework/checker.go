@@ -1,0 +1,65 @@
+package framework
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Main is the multichecker driver: it loads the packages named by the
+// command-line patterns (default ./...), applies every analyzer to every
+// package, prints the diagnostics sorted by position, and exits non-zero
+// when any analyzer fires.
+//
+// Exit codes: 0 clean, 1 diagnostics reported, 2 usage or load failure.
+func Main(analyzers ...*Analyzer) {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [packages]\n\nAnalyzers:\n", os.Args[0])
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-20s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) > 0 && patterns[0] == "help" {
+		flag.Usage()
+		os.Exit(0)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			all = append(all, diags...)
+		}
+	}
+	sortDiagnostics(all)
+	for _, d := range all {
+		fmt.Println(d)
+	}
+	if len(all) > 0 {
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

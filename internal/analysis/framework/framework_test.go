@@ -1,0 +1,121 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parsePkg type-checks one in-memory file into a framework Package.
+func parsePkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	conf := types.Config{}
+	tpkg, err := conf.Check("example.com/p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{PkgPath: "example.com/p", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// varReporter flags every package-level var declaration.
+var varReporter = &Analyzer{
+	Name: "varcheck",
+	Doc:  "test analyzer: reports every top-level var",
+	Run: func(pass *Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+					pass.Reportf(gd.Pos(), "top-level var")
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func TestIgnoreDirectiveSuppression(t *testing.T) {
+	pkg := parsePkg(t, `package p
+
+var flagged = 1
+
+//zivlint:ignore varcheck intentional test waiver
+var waivedAbove = 2
+
+var waivedSameLine = 3 //zivlint:ignore varcheck same-line waiver
+
+//zivlint:ignore otherchck wrong analyzer name
+var stillFlagged = 4
+`)
+	diags, err := RunAnalyzer(varReporter, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics %v, want 2 (waived lines suppressed)", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 3 || diags[1].Pos.Line != 11 {
+		t.Errorf("diagnostics at lines %d,%d; want 3,11", diags[0].Pos.Line, diags[1].Pos.Line)
+	}
+	if !strings.Contains(diags[0].String(), "(varcheck)") {
+		t.Errorf("diagnostic %q does not name its analyzer", diags[0])
+	}
+}
+
+func TestIgnoreAllSuppressesEveryAnalyzer(t *testing.T) {
+	pkg := parsePkg(t, `package p
+
+//zivlint:ignore all blanket waiver
+var waived = 1
+`)
+	diags, err := RunAnalyzer(varReporter, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("got %v, want no diagnostics under //zivlint:ignore all", diags)
+	}
+}
+
+// TestLoadRealPackage drives the go list -export loader against a real
+// module package and checks the type information is live.
+func TestLoadRealPackage(t *testing.T) {
+	pkgs, err := Load(".", "zivsim/internal/energy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.PkgPath != "zivsim/internal/energy" {
+		t.Errorf("PkgPath = %q", pkg.PkgPath)
+	}
+	if pkg.Types.Scope().Lookup("Meter") == nil {
+		t.Error("type info missing exported Meter symbol")
+	}
+	if len(pkg.Files) == 0 || len(pkg.Info.Defs) == 0 {
+		t.Error("parsed files or defs are empty")
+	}
+}
+
+// TestLoadResolvesInModuleDeps checks that a package importing other
+// module packages type-checks from export data.
+func TestLoadResolvesInModuleDeps(t *testing.T) {
+	pkgs, err := Load(".", "zivsim/internal/directory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := pkgs[0].Types.Scope().Lookup("Directory")
+	if obj == nil {
+		t.Fatal("Directory type not found")
+	}
+}

@@ -1,0 +1,16 @@
+package nodeterminism_test
+
+import (
+	"testing"
+
+	"zivsim/internal/analysis/analysistest"
+	"zivsim/internal/analysis/nodeterminism"
+)
+
+func TestNodeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", nodeterminism.Analyzer,
+		"zivsim/internal/core/fixture",
+		"zivsim/cmd/fixture",
+		"zivsim/internal/reportfix",
+	)
+}

@@ -1,0 +1,14 @@
+// Command fixture shows the command-binary exemption: package main may
+// time itself and use convenience randomness for non-simulated output.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(rand.Intn(10), time.Since(start))
+}

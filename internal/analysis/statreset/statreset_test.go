@@ -1,0 +1,14 @@
+package statreset_test
+
+import (
+	"testing"
+
+	"zivsim/internal/analysis/analysistest"
+	"zivsim/internal/analysis/statreset"
+)
+
+func TestStatreset(t *testing.T) {
+	analysistest.Run(t, "testdata", statreset.Analyzer,
+		"zivsim/internal/statsfix",
+	)
+}

@@ -1,0 +1,55 @@
+// Package statsfix exercises the statreset analyzer.
+package statsfix
+
+// GoodStats resets with the approved whole-struct assignment: every
+// field, present and future, is covered.
+type GoodStats struct {
+	Hits, Misses uint64
+	Hist         [8]uint64
+}
+
+// Reset zeroes everything at once.
+func (s *GoodStats) Reset() { *s = GoodStats{} }
+
+// BadStats resets field by field and forgot one.
+type BadStats struct {
+	Hits      uint64
+	Misses    uint64 // want `counter BadStats\.Misses is not zeroed by the type's Reset/Snapshot method`
+	Evictions uint64
+	Hist      [8]uint64
+}
+
+// Reset misses the Misses counter added after it was written.
+func (s *BadStats) Reset() {
+	s.Hits = 0
+	s.Evictions = 0
+	for i := range s.Hist {
+		s.Hist[i] = 0
+	}
+}
+
+// SnapStats drains through Snapshot instead of Reset: the whole-struct
+// swap covers every field.
+type SnapStats struct {
+	Count uint64
+}
+
+// Snapshot returns the counters and clears them.
+func (s *SnapStats) Snapshot() SnapStats {
+	out := *s
+	*s = SnapStats{}
+	return out
+}
+
+// SubStats is reset through a nested method call.
+type SubStats struct {
+	Inner GoodStats
+}
+
+// Reset delegates to the nested Reset.
+func (s *SubStats) Reset() { s.Inner.Reset() }
+
+// FreeStats has no Reset/Snapshot contract: not checked.
+type FreeStats struct {
+	Anything uint64
+}

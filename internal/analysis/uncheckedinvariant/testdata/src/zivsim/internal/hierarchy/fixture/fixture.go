@@ -1,0 +1,76 @@
+// Package fixture exercises the uncheckedinvariant analyzer: its import
+// path sits under internal/hierarchy and it drives the real core.LLC and
+// directory.Directory types.
+package fixture
+
+import (
+	"zivsim/internal/core"
+	"zivsim/internal/directory"
+	"zivsim/internal/policy"
+)
+
+// Config mirrors the hierarchy config's debug switch.
+type Config struct {
+	DebugChecks bool
+}
+
+// Machine is a minimal hierarchy around the real LLC and directory.
+type Machine struct {
+	cfg Config
+	llc *core.LLC
+	dir *directory.Directory
+}
+
+// BadAccess mutates LLC state with no invariant-check path at all.
+func (m *Machine) BadAccess(addr uint64) { // want `exported BadAccess mutates LLC/directory state but no path performs a DebugChecks-gated CheckInvariants/CheckInclusion`
+	m.llc.Access(addr, policy.Meta{Addr: addr})
+}
+
+// BadFree mutates directory state transitively through an unexported
+// helper, still without a gated check.
+func (m *Machine) BadFree(p directory.Ptr) { // want `exported BadFree mutates LLC/directory state but no path performs a DebugChecks-gated CheckInvariants/CheckInclusion`
+	m.free(p)
+}
+
+func (m *Machine) free(p directory.Ptr) {
+	m.dir.Free(p)
+}
+
+// GoodAccess mutates and validates under the debug switch: accepted.
+func (m *Machine) GoodAccess(addr uint64) {
+	m.llc.Access(addr, policy.Meta{Addr: addr})
+	if m.cfg.DebugChecks {
+		m.mustCheck()
+	}
+}
+
+// GoodDrive reaches both the mutation and the gated check transitively
+// through stepOnce: accepted.
+func (m *Machine) GoodDrive(addr uint64) {
+	m.stepOnce(addr)
+}
+
+func (m *Machine) stepOnce(addr uint64) {
+	m.llc.Access(addr, policy.Meta{Addr: addr})
+	if m.cfg.DebugChecks {
+		m.mustCheck()
+	}
+}
+
+func (m *Machine) mustCheck() {
+	if err := m.llc.CheckInvariants(); err != nil {
+		panic(err)
+	}
+}
+
+// Probe only reads LLC state: accepted without any check path.
+func (m *Machine) Probe(addr uint64) bool {
+	_, hit := m.llc.Probe(addr)
+	return hit && m.dir.Tracked(addr)
+}
+
+// CheckAll is itself a checker (Check* prefix): exempt.
+func (m *Machine) CheckAll() error {
+	m.llc.Access(0, policy.Meta{})
+	return m.llc.CheckInvariants()
+}

@@ -1,0 +1,14 @@
+package uncheckedinvariant_test
+
+import (
+	"testing"
+
+	"zivsim/internal/analysis/analysistest"
+	"zivsim/internal/analysis/uncheckedinvariant"
+)
+
+func TestUncheckedinvariant(t *testing.T) {
+	analysistest.Run(t, "testdata", uncheckedinvariant.Analyzer,
+		"zivsim/internal/hierarchy/fixture",
+	)
+}

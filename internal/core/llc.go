@@ -237,6 +237,10 @@ type Stats struct {
 	FIFOMaxOcc   int // modeled relocation-FIFO high-water mark
 }
 
+// Reset clears every counter (end of warmup). The whole-struct assignment
+// is the statreset-approved pattern: fields added later are zeroed too.
+func (s *Stats) Reset() { *s = Stats{} }
+
 // RelocTargetSkew summarizes how unevenly relocations land across sets: the
 // ratio of the most-loaded set's relocation count to the mean across sets
 // that received any (1.0 = perfectly uniform). It quantifies the fairness

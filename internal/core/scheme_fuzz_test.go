@@ -4,8 +4,6 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
-
-	"zivsim/internal/policy"
 )
 
 // TestAllSchemesModelProperty fuzzes every victim-selection scheme through
@@ -14,25 +12,7 @@ import (
 // directory/LLC residency bits agree, and inclusion holds for every
 // privately cached block.
 func TestAllSchemesModelProperty(t *testing.T) {
-	type combo struct {
-		scheme Scheme
-		prop   Property
-		pol    func() policy.Policy
-	}
-	combos := []combo{
-		{SchemeBaseline, PropNone, lruPol},
-		{SchemeBaseline, PropNone, hawkeyePol},
-		{SchemeQBS, PropNone, lruPol},
-		{SchemeQBS, PropNone, hawkeyePol},
-		{SchemeSHARP, PropNone, lruPol},
-		{SchemeSHARP, PropNone, hawkeyePol},
-		{SchemeCHARonBase, PropNone, lruPol},
-		{SchemeZIV, PropNotInPrC, lruPol},
-		{SchemeZIV, PropLRUNotInPrC, lruPol},
-		{SchemeZIV, PropLikelyDead, lruPol},
-		{SchemeZIV, PropMaxRRPVNotInPrC, hawkeyePol},
-		{SchemeZIV, PropMaxRRPVLikelyDead, hawkeyePol},
-	}
+	combos := schemeCombos()
 	f := func(seed int64, pick uint8) bool {
 		c := combos[int(pick)%len(combos)]
 		llc, dir := mkLLC(t, c.scheme, c.prop, c.pol)

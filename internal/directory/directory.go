@@ -14,6 +14,7 @@ package directory
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"zivsim/internal/policy"
 )
@@ -156,6 +157,10 @@ type Stats struct {
 	Frees       uint64 // entries freed because the last sharer left
 	MaxOverflow int    // high-water mark of the overflow structure
 }
+
+// Reset clears every counter (end of warmup). The whole-struct assignment
+// is the statreset-approved pattern: fields added later are zeroed too.
+func (s *Stats) Reset() { *s = Stats{} }
 
 // Directory is the full sparse directory (all slices).
 type Directory struct {
@@ -401,8 +406,16 @@ func (d *Directory) ForEach(fn func(e *Entry, p Ptr)) {
 				}
 			}
 		}
-		for a, e := range sl.overflow {
-			fn(e, Ptr{Bank: b, Set: d.setOf(a), Way: -1, OverflowAddr: a})
+		// Visit overflow entries in sorted address order: map iteration
+		// order is randomized and would make every ForEach consumer
+		// (invariant walks, reports) nondeterministic run to run.
+		addrs := make([]uint64, 0, len(sl.overflow))
+		for a := range sl.overflow {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		for _, a := range addrs {
+			fn(sl.overflow[a], Ptr{Bank: b, Set: d.setOf(a), Way: -1, OverflowAddr: a})
 		}
 	}
 }

@@ -60,6 +60,10 @@ type Stats struct {
 	RowMisses uint64 // row-buffer conflict or closed row
 }
 
+// Reset clears every counter (end of warmup). The whole-struct assignment
+// is the statreset-approved pattern: fields added later are zeroed too.
+func (s *Stats) Reset() { *s = Stats{} }
+
 // New builds a memory model from cfg.
 func New(cfg Config) *Memory {
 	n := cfg.Channels * cfg.Ranks * cfg.Banks

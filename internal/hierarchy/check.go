@@ -4,13 +4,7 @@ import (
 	"fmt"
 
 	"zivsim/internal/cache"
-	"zivsim/internal/core"
 	"zivsim/internal/directory"
-)
-
-var (
-	coreLLCStatsZero core.Stats
-	dirStatsZero     directory.Stats
 )
 
 // CheckInclusion validates the machine-level invariants (tests and

@@ -2,7 +2,6 @@ package hierarchy
 
 import (
 	"zivsim/internal/cache"
-	"zivsim/internal/dram"
 	"zivsim/internal/energy"
 	"zivsim/internal/policy"
 )
@@ -141,9 +140,9 @@ func (m *Machine) Run() {
 // resetGlobalStats clears the shared-structure counters at the end of
 // warmup.
 func (m *Machine) resetGlobalStats() {
-	m.llc.Stats = coreLLCStatsZero
-	m.dir.Stats = dirStatsZero
-	m.mem.Stats = dram.Stats{}
+	m.llc.Stats.Reset()
+	m.dir.Stats.Reset()
+	m.mem.Stats.Reset()
 	m.meter = energy.NewMeter(energy.DefaultTable())
 	m.CoherenceInvals = 0
 }
