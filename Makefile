@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz ci
+.PHONY: all build vet lint test race fuzz bench bench-quick ci
 
 all: ci
 
@@ -23,5 +23,14 @@ race:
 
 fuzz:
 	$(GO) test -fuzz=FuzzScheme -fuzztime=20s ./internal/core
+
+# Full figure benchmark: cold, serial, fixed workload. Writes BENCH_figs.json
+# with refs/sec and the speedup over the recorded seed baselines.
+bench:
+	$(GO) run ./cmd/zivbench -o BENCH_figs.json
+
+# Fast smoke variant for CI: truncated reference counts, no speedup record.
+bench-quick:
+	$(GO) run ./cmd/zivbench -quick -o BENCH_quick.json
 
 ci: build vet lint test race

@@ -1,0 +1,151 @@
+// Command zivbench measures end-to-end figure-regeneration throughput and
+// writes a machine-readable report. Each listed experiment runs exactly once
+// with a cold in-process memo and serial execution (Parallelism=1), so the
+// numbers are comparable across commits: same job set, same schedule, no
+// cache reuse. `make bench` invokes it to produce BENCH_figs.json.
+//
+// The headline metric is simulated memory references per wall-clock second
+// (refs/s): it normalizes for how much work each figure's configuration
+// matrix implies, unlike raw seconds.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"zivsim/internal/harness"
+)
+
+// seedBaselineSeconds records each figure's wall time on the
+// pre-optimization simulator with these exact options (cold, serial). The
+// job set is a deterministic function of the options, so the simulated
+// reference count is identical across commits and
+// speedup = baselineSeconds / currentSeconds exactly.
+var seedBaselineSeconds = map[string]float64{
+	"fig1":  9.43,
+	"fig8":  22.79,
+	"fig11": 33.04,
+}
+
+// FigResult is one experiment's measurement.
+type FigResult struct {
+	ID         string  `json:"id"`
+	Seconds    float64 `json:"seconds"`
+	Refs       uint64  `json:"refs"`
+	RefsPerSec float64 `json:"refs_per_sec"`
+	// BaselineRefsPerSec is the pre-optimization simulator's throughput on
+	// this figure (0 when unrecorded); Speedup = RefsPerSec / baseline.
+	BaselineRefsPerSec float64 `json:"baseline_refs_per_sec,omitempty"`
+	Speedup            float64 `json:"speedup,omitempty"`
+}
+
+// Report is the BENCH_figs.json schema.
+type Report struct {
+	Timestamp string      `json:"timestamp"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	NumCPU    int         `json:"num_cpu"`
+	Options   string      `json:"options"`
+	Figures   []FigResult `json:"figures"`
+}
+
+func main() {
+	var (
+		out   = flag.String("o", "BENCH_figs.json", "output report path")
+		figs  = flag.String("figs", "fig1,fig8,fig11", "comma-separated experiment ids (or 'all')")
+		quick = flag.Bool("quick", false, "tiny workload for CI smoke runs (timings not comparable)")
+	)
+	flag.Parse()
+
+	opt := benchOptions()
+	if *quick {
+		opt.Warmup = 500
+		opt.Measure = 2_000
+	}
+
+	var ids []string
+	if *figs == "all" {
+		for _, e := range harness.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*figs, ",")
+	}
+
+	rep := Report{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Options:   fmt.Sprintf("%+v", opt),
+	}
+	for _, id := range ids {
+		e, ok := harness.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "zivbench: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		harness.ResetMemo()
+		before := harness.SimulatedRefs()
+		start := time.Now()
+		tab := e.Run(opt)
+		dt := time.Since(start).Seconds()
+		refs := harness.SimulatedRefs() - before
+		if tab == nil || len(tab.Rows) == 0 {
+			fmt.Fprintf(os.Stderr, "zivbench: %s produced no rows\n", id)
+			os.Exit(1)
+		}
+		r := FigResult{
+			ID:         id,
+			Seconds:    dt,
+			Refs:       refs,
+			RefsPerSec: float64(refs) / dt,
+		}
+		if !*quick {
+			if baseSec, ok := seedBaselineSeconds[id]; ok {
+				r.BaselineRefsPerSec = float64(refs) / baseSec
+				r.Speedup = baseSec / dt
+			}
+		}
+		rep.Figures = append(rep.Figures, r)
+		fmt.Printf("%-8s %8.2fs  %9d refs  %12.0f refs/s", id, r.Seconds, r.Refs, r.RefsPerSec)
+		if r.Speedup > 0 {
+			fmt.Printf("  %.2fx vs seed", r.Speedup)
+		}
+		fmt.Println()
+	}
+
+	data, err := json.MarshalIndent(rep, "", "\t")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zivbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "zivbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// benchOptions mirrors the figure benches in bench_test.go: fixed reduced
+// scale, serial, cold. Keep the two in sync so `go test -bench=Fig` and
+// zivbench measure the same work.
+func benchOptions() harness.Options {
+	o := harness.DefaultOptions()
+	o.Scale = 32
+	o.HeteroMixes = 2
+	o.HomoMixes = 2
+	o.Warmup = 5_000
+	o.Measure = 20_000
+	o.TPCECores = 16
+	o.Parallelism = 1
+	return o
+}

@@ -7,6 +7,8 @@
 //	zivsim -fig fig8             # reproduce Fig. 8 at laptop scale
 //	zivsim -fig all -csv         # everything, CSV output
 //	zivsim -fig fig11 -scale 1 -mixes 36 -homo 36   # paper-fidelity run
+//	zivsim -fig all -cache       # persist results; reruns are instant
+//	zivsim -fig fig8 -cpuprofile cpu.pb.gz          # profile the run
 //	zivsim -config               # print the simulated machine (Table I)
 package main
 
@@ -14,6 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"zivsim/internal/harness"
@@ -36,8 +41,55 @@ func main() {
 		par       = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		paper     = flag.Bool("paper", false, "paper-fidelity options (slow; overrides scale/mixes/refs)")
+
+		useCache   = flag.Bool("cache", false, "persist simulation results under -cachedir and reuse them")
+		cacheDir   = flag.String("cachedir", ".zivcache", "directory for the persistent result cache")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zivsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "zivsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zivsim: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "zivsim: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer trace.Stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "zivsim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "zivsim: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {
@@ -68,6 +120,9 @@ func main() {
 		opt.Seed = *seed
 	}
 	opt.Parallelism = *par
+	if *useCache {
+		opt.CacheDir = *cacheDir
+	}
 
 	var toRun []harness.Experiment
 	if *figID == "all" {

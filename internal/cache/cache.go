@@ -47,11 +47,27 @@ type Cache struct {
 	shift   uint // address bits consumed before the set index (block offset, bank bits)
 	setMask uint64
 	blocks  []Block // sets*ways, row-major by set
-	pol     policy.Policy
+	// tags mirrors blocks for the hot lookup path: the block address of a
+	// valid way, tagNone otherwise. Scanning a contiguous []uint64 touches
+	// one cache line per 8 ways instead of striding over Block structs.
+	// Maintained by FillWay/evictWay/Invalidate.
+	tags []uint64
+	// mru holds the last way hit or filled per set: the first probe of
+	// Lookup. A stale hint is harmless (the tag comparison decides).
+	mru []int32
+	// validCnt counts valid ways per set so InvalidWay answers "-1" (the
+	// steady-state case after warmup) without scanning.
+	validCnt []uint16
+	pol      policy.Policy
+	vic      policy.Victimer // non-nil when pol exposes the fast victim path
 
 	// Stats accumulates the event counters for this cache instance.
 	Stats Stats
 }
+
+// tagNone marks an invalid way in the tag sidecar; it lies outside the
+// 48-bit physical block-address space so it can never match a real block.
+const tagNone = ^uint64(0)
 
 // Stats holds per-cache event counters.
 type Stats struct {
@@ -87,15 +103,24 @@ func New(name string, sets, ways, extraShift int, pol policy.Policy) *Cache {
 		panic(fmt.Sprintf("cache %s: extraShift must be non-negative, got %d", name, extraShift))
 	}
 	pol.Init(sets, ways)
-	return &Cache{
-		name:    name,
-		sets:    sets,
-		ways:    ways,
-		shift:   uint(extraShift),
-		setMask: uint64(sets - 1),
-		blocks:  make([]Block, sets*ways),
-		pol:     pol,
+	tags := make([]uint64, sets*ways)
+	for i := range tags {
+		tags[i] = tagNone
 	}
+	c := &Cache{
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		shift:    uint(extraShift),
+		setMask:  uint64(sets - 1),
+		blocks:   make([]Block, sets*ways),
+		tags:     tags,
+		mru:      make([]int32, sets),
+		validCnt: make([]uint16, sets),
+		pol:      pol,
+	}
+	c.vic, _ = pol.(policy.Victimer)
+	return c
 }
 
 // Name returns the cache's configured name.
@@ -125,13 +150,17 @@ func (c *Cache) Block(set, way int) *Block {
 }
 
 // Lookup finds blockAddr without updating replacement state. It returns the
-// way and true on a hit.
+// way and true on a hit. The MRU way of the set is probed first (most hits
+// land there), then the tag sidecar is scanned contiguously.
 func (c *Cache) Lookup(blockAddr uint64) (way int, hit bool) {
 	set := c.SetIndex(blockAddr)
 	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		b := &c.blocks[base+w]
-		if b.Valid && b.Addr == blockAddr {
+	if w := int(c.mru[set]); c.tags[base+w] == blockAddr {
+		return w, true
+	}
+	tags := c.tags[base : base+c.ways]
+	for w, t := range tags {
+		if t == blockAddr {
 			return w, true
 		}
 	}
@@ -161,6 +190,7 @@ func (c *Cache) Access(blockAddr uint64, write bool, m policy.Meta) (way int, hi
 		b.Dirty = true
 	}
 	c.pol.OnHit(set, way, m)
+	c.mru[set] = int32(way)
 	return way, true
 }
 
@@ -171,15 +201,21 @@ func (c *Cache) Touch(blockAddr uint64, m policy.Meta) bool {
 	if !hit {
 		return false
 	}
-	c.pol.OnHit(c.SetIndex(blockAddr), way, m)
+	set := c.SetIndex(blockAddr)
+	c.pol.OnHit(set, way, m)
+	c.mru[set] = int32(way)
 	return true
 }
 
 // InvalidWay returns an invalid way in set, or -1 when the set is full.
+// Full sets (the steady state) answer from the per-set valid count.
 func (c *Cache) InvalidWay(set int) int {
+	if int(c.validCnt[set]) == c.ways {
+		return -1
+	}
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
-		if !c.blocks[base+w].Valid {
+		if c.tags[base+w] == tagNone {
 			return w
 		}
 	}
@@ -188,9 +224,19 @@ func (c *Cache) InvalidWay(set int) int {
 
 // VictimRank returns the ways of set ordered best-victim-first according to
 // the replacement policy. The returned slice is owned by the policy and must
-// not be retained across calls.
+// not be retained across calls. Callers that only need the top victim should
+// use Victim, which skips materializing the order.
 func (c *Cache) VictimRank(set int) []int {
 	return c.pol.Rank(set)
+}
+
+// Victim returns the policy's top victim way for set — VictimRank(set)[0]
+// without building the full order when the policy supports the fast path.
+func (c *Cache) Victim(set int) int {
+	if c.vic != nil {
+		return c.vic.Victim(set)
+	}
+	return c.pol.Rank(set)[0]
 }
 
 // Fill inserts blockAddr into its set, evicting if necessary, and returns the
@@ -201,7 +247,7 @@ func (c *Cache) Fill(blockAddr uint64, dirty, writable bool, m policy.Meta) (vic
 	set := c.SetIndex(blockAddr)
 	way := c.InvalidWay(set)
 	if way < 0 {
-		way = c.pol.Rank(set)[0]
+		way = c.Victim(set)
 		victim = *c.Block(set, way)
 		c.evictWay(set, way)
 	}
@@ -219,6 +265,9 @@ func (c *Cache) FillWay(set, way int, blockAddr uint64, dirty, writable bool, m 
 		panic(fmt.Sprintf("cache %s: FillWay set mismatch: block %#x maps to set %d, not %d", c.name, blockAddr, got, set))
 	}
 	*b = Block{Valid: true, Dirty: dirty, Writable: writable, Addr: blockAddr}
+	c.tags[set*c.ways+way] = blockAddr
+	c.validCnt[set]++
+	c.mru[set] = int32(way)
 	c.Stats.Fills++
 	c.pol.OnFill(set, way, m)
 }
@@ -242,6 +291,8 @@ func (c *Cache) evictWay(set, way int) {
 	}
 	c.pol.OnEvict(set, way)
 	*b = Block{}
+	c.tags[set*c.ways+way] = tagNone
+	c.validCnt[set]--
 }
 
 // Invalidate removes blockAddr if present (an externally forced removal, not
@@ -256,6 +307,8 @@ func (c *Cache) Invalidate(blockAddr uint64) (removed Block, ok bool) {
 	c.Stats.Invals++
 	c.pol.OnInvalidate(set, way)
 	*c.Block(set, way) = Block{}
+	c.tags[set*c.ways+way] = tagNone
+	c.validCnt[set]--
 	return removed, true
 }
 

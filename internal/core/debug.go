@@ -26,6 +26,7 @@ func (l *LLC) CheckInvariants() error {
 	for i := range l.banks {
 		bk := &l.banks[i]
 		for s := 0; s < l.cfg.SetsPerBank; s++ {
+			valid := 0
 			for w := 0; w < l.cfg.Ways; w++ {
 				b := &bk.blocks[s*l.cfg.Ways+w]
 				wantTag := tagNone
@@ -38,6 +39,7 @@ func (l *LLC) CheckInvariants() error {
 				if !b.Valid {
 					continue
 				}
+				valid++
 				loc := directory.Location{Bank: i, Set: s, Way: w}
 				if b.LikelyDead && !b.NotInPrC {
 					return fmt.Errorf("block %#x at %+v: LikelyDead without NotInPrC", b.Addr, loc)
@@ -69,6 +71,9 @@ func (l *LLC) CheckInvariants() error {
 				if b.NotInPrC == tracked {
 					return fmt.Errorf("block %#x at %+v: NotInPrC=%v but directory tracked=%v", b.Addr, loc, b.NotInPrC, tracked)
 				}
+			}
+			if int(bk.validCnt[s]) != valid {
+				return fmt.Errorf("bank %d set %d: validCnt %d != actual valid ways %d", i, s, bk.validCnt[s], valid)
 			}
 			for _, lev := range l.levels {
 				if got, want := bk.pvs[lev].Get(s), l.setSatisfies(bk, s, lev); got != want {

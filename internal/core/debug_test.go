@@ -43,7 +43,7 @@ func relocatedSetup(t *testing.T) (*LLC, *directory.Directory, uint64, directory
 		t.Fatal("unexpected directory eviction in setup")
 	}
 	out := llc.Fill(addr, 0, false, true, policy.Meta{Addr: addr}, 123)
-	if out.Relocation == nil {
+	if !out.Relocation.Valid {
 		t.Fatalf("setup produced no relocation: %+v", out)
 	}
 	if err := llc.CheckInvariants(); err != nil {
@@ -93,9 +93,11 @@ func TestCheckInvariantsDetectsBrokenReverseLinkage(t *testing.T) {
 	llc, _, _, to := relocatedSetup(t)
 	// Vanish the relocated LLC copy while the directory entry still points
 	// at it. The tag sidecar already holds tagNone for a relocated way, so
-	// only the property vectors need recomputing for the emptied set.
+	// only the valid count and property vectors need recomputing for the
+	// emptied set.
 	bk := &llc.banks[to.Bank]
 	bk.blocks[to.Set*llc.cfg.Ways+to.Way] = Block{}
+	bk.validCnt[to.Set]--
 	llc.updateSet(bk, to.Set)
 	wantInvariantError(t, llc, "but LLC block there is")
 }

@@ -8,7 +8,10 @@ import (
 )
 
 // Evicted describes a block that left the LLC to make room for a fill.
+// Valid is false when no block was evicted. The record is embedded by value
+// in FillOutcome so the per-fill hot path allocates nothing.
 type Evicted struct {
+	Valid bool
 	Addr  uint64
 	Dirty bool
 	// InPrC flags that the block has live private copies: the hierarchy must
@@ -18,7 +21,9 @@ type Evicted struct {
 }
 
 // Relocation describes a ZIV block relocation performed during a fill.
+// Valid is false when the fill performed no relocation.
 type Relocation struct {
+	Valid        bool
 	Addr         uint64 // relocated block's address (debug field)
 	From, To     directory.Location
 	Level        string // priority level that supplied the relocation set
@@ -26,16 +31,18 @@ type Relocation struct {
 	ReRelocation bool // the relocated block was already in Relocated state
 }
 
-// FillOutcome reports everything a fill did.
+// FillOutcome reports everything a fill did. It is a plain value — returning
+// it performs no heap allocation, which matters because every LLC miss
+// constructs one.
 type FillOutcome struct {
 	// Loc is where the new block landed.
 	Loc directory.Location
-	// Evicted is the block that left the LLC (nil when an invalid way
-	// absorbed the fill, or when a relocation landed on an invalid way).
-	Evicted *Evicted
-	// Relocation is non-nil when the ZIV scheme moved a privately cached
+	// Evicted is the block that left the LLC (Valid=false when an invalid
+	// way absorbed the fill, or when a relocation landed on an invalid way).
+	Evicted Evicted
+	// Relocation has Valid=true when the ZIV scheme moved a privately cached
 	// victim to a relocation set.
-	Relocation *Relocation
+	Relocation Relocation
 	// AlternateVictim is true when the ZIV scheme avoided relocation by
 	// picking a different victim within the original set (the original set
 	// itself satisfied the relocation property).
@@ -89,7 +96,7 @@ func (l *LLC) Fill(addr uint64, requester int, dirty, inPrC bool, m policy.Meta,
 	l.fillWay(bk, set, victim, addr, dirty, inPrC, m)
 	return FillOutcome{
 		Loc:     directory.Location{Bank: bk.id, Set: set, Way: victim},
-		Evicted: &ev,
+		Evicted: ev,
 	}
 }
 
@@ -98,7 +105,7 @@ func (l *LLC) Fill(addr uint64, requester int, dirty, inPrC bool, m policy.Meta,
 // with no private copies is the victim. If every block is privately cached,
 // the original baseline victim is evicted, generating inclusion victims.
 func (l *LLC) qbsVictim(bk *bank, set int) int {
-	order := append([]int(nil), bk.pol.Rank(set)...)
+	order := l.rankScratch[:copy(l.rankScratch, bk.pol.Rank(set))]
 	base := set * l.cfg.Ways
 	for _, w := range order {
 		if bk.blocks[base+w].NotInPrC {
@@ -114,7 +121,7 @@ func (l *LLC) qbsVictim(bk *bank, set int) int {
 // private copies, (2) a block cached only in the requester's private
 // hierarchy, (3) a random block.
 func (l *LLC) sharpVictim(bk *bank, set, requester int) int {
-	order := append([]int(nil), bk.pol.Rank(set)...)
+	order := l.rankScratch[:copy(l.rankScratch, bk.pol.Rank(set))]
 	base := set * l.cfg.Ways
 	for _, w := range order {
 		if bk.blocks[base+w].NotInPrC {
@@ -163,6 +170,7 @@ func (l *LLC) fillWay(bk *bank, set, way int, addr uint64, dirty, inPrC bool, m 
 	}
 	*b = Block{Valid: true, Dirty: dirty, NotInPrC: !inPrC, Addr: addr, EvictCore: -1}
 	bk.tags[set*l.cfg.Ways+way] = addr
+	bk.validCnt[set]++
 	bk.pol.OnFill(set, way, m)
 	l.updateSet(bk, set)
 }
@@ -174,7 +182,7 @@ func (l *LLC) evictWay(bk *bank, set, way int) Evicted {
 	if l.cfg.DebugChecks && !b.Valid {
 		panic(fmt.Sprintf("core: evictWay of invalid way (bank %d set %d way %d)", bk.id, set, way))
 	}
-	ev := Evicted{Addr: b.Addr, Dirty: b.Dirty, InPrC: !b.NotInPrC}
+	ev := Evicted{Valid: true, Addr: b.Addr, Dirty: b.Dirty, InPrC: !b.NotInPrC}
 	l.Stats.Evictions++
 	if ev.Dirty {
 		l.Stats.DirtyWritebacks++
@@ -185,6 +193,7 @@ func (l *LLC) evictWay(bk *bank, set, way int) Evicted {
 	bk.pol.OnEvict(set, way)
 	*b = Block{}
 	bk.tags[set*l.cfg.Ways+way] = tagNone
+	bk.validCnt[set]--
 	l.updateSet(bk, set)
 	return ev
 }

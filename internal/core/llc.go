@@ -277,6 +277,11 @@ type LLC struct {
 	// oracleNow tracks the latest global stream position observed (Meta.Pos)
 	// for the PropOracleNotInPrC property's next-use queries.
 	oracleNow uint64
+	// rankScratch holds a stable copy of a policy Rank order for the QBS and
+	// SHARP victim walks, which promote ways mid-walk and so cannot iterate
+	// the policy-owned slice directly. One reusable buffer avoids a per-miss
+	// allocation.
+	rankScratch []int
 
 	Stats Stats
 }
@@ -287,12 +292,17 @@ type bank struct {
 	// tags mirrors blocks for fast probing: the block address when the way
 	// holds a valid non-relocated block, tagNone otherwise. Maintained by
 	// the few mutation points and validated by CheckInvariants.
-	tags   []uint64
-	pol    policy.Policy
-	rrip   policy.RRPVer        // nil unless the policy exposes RRPVs
-	lru    policy.LRUPositioner // nil unless the policy exposes LRU position
-	pvs    [numLevels]*PV       // only the configured levels are non-nil
-	thresh *char.BankThresholder
+	tags []uint64
+	// validCnt counts valid ways (relocated included) per set, so the
+	// invalid-way probe on the fill path answers without scanning once the
+	// set is full. Validated by CheckInvariants.
+	validCnt []uint16
+	pol      policy.Policy
+	vic      policy.Victimer      // nil unless the policy exposes the fast victim path
+	rrip     policy.RRPVer        // nil unless the policy exposes RRPVs
+	lru      policy.LRUPositioner // nil unless the policy exposes LRU position
+	pvs      [numLevels]*PV       // only the configured levels are non-nil
+	thresh   *char.BankThresholder
 
 	lastReloc     uint64
 	everRelocated bool
@@ -331,6 +341,7 @@ func New(cfg Config, dir *directory.Directory) *LLC {
 		levels:   levelsFor(cfg.Property),
 		rngState: 0x2545f4914f6cdd1d,
 	}
+	l.rankScratch = make([]int, cfg.Ways)
 	for i := range l.banks {
 		b := &l.banks[i]
 		b.id = i
@@ -339,9 +350,11 @@ func New(cfg Config, dir *directory.Directory) *LLC {
 		for j := range b.tags {
 			b.tags[j] = tagNone
 		}
+		b.validCnt = make([]uint16, cfg.SetsPerBank)
 		b.relocTargets = make([]uint32, cfg.SetsPerBank)
 		b.pol = cfg.NewPolicy()
 		b.pol.Init(cfg.SetsPerBank, cfg.Ways)
+		b.vic, _ = b.pol.(policy.Victimer)
 		b.rrip, _ = b.pol.(policy.RRPVer)
 		b.lru, _ = b.pol.(policy.LRUPositioner)
 		for _, lev := range l.levels {
@@ -420,11 +433,12 @@ func (l *LLC) Probe(addr uint64) (loc directory.Location, hit bool) {
 	return directory.Location{}, false
 }
 
-// worstWay returns the baseline policy's top victim, using the cheap LRU
-// position query when the policy provides it.
+// worstWay returns the baseline policy's top victim via the single-victim
+// fast path when the policy provides one (every built-in policy does),
+// avoiding the full rank-order sort.
 func (l *LLC) worstWay(bk *bank, set int) int {
-	if bk.lru != nil {
-		return bk.lru.LRUWay(set)
+	if bk.vic != nil {
+		return bk.vic.Victim(set)
 	}
 	return bk.pol.Rank(set)[0]
 }
@@ -532,6 +546,7 @@ func (l *LLC) InvalidateRelocated(loc directory.Location) (dirty bool) {
 	bk.pol.OnInvalidate(loc.Set, loc.Way)
 	*b = Block{}
 	bk.tags[loc.Set*l.cfg.Ways+loc.Way] = tagNone
+	bk.validCnt[loc.Set]--
 	l.Stats.RelocatedInvalidated++
 	l.updateSet(bk, loc.Set)
 	return dirty
@@ -551,6 +566,7 @@ func (l *LLC) Invalidate(addr uint64) (present, dirty bool) {
 	bk.pol.OnInvalidate(loc.Set, loc.Way)
 	*b = Block{}
 	bk.tags[loc.Set*l.cfg.Ways+loc.Way] = tagNone
+	bk.validCnt[loc.Set]--
 	l.updateSet(bk, loc.Set)
 	return true, dirty
 }
@@ -596,15 +612,49 @@ func (l *LLC) setSatisfies(bk *bank, set int, lev level) bool {
 }
 
 // updateSet recomputes every configured property bit of (bank, set). Called
-// after any mutation of the set's blocks or replacement state.
+// after any mutation of the set's blocks or replacement state. The Invalid,
+// NotInPrC and LikelyDead predicates are folded into one pass over the set
+// (setSatisfies would scan once per level); the LRU and MaxRRPV predicates
+// need policy state and keep their dedicated queries.
 func (l *LLC) updateSet(bk *bank, set int) {
+	if len(l.levels) == 0 {
+		return
+	}
+	base := set * l.cfg.Ways
+	var anyInvalid, anyNotInPrC, anyDead bool
+	for w := 0; w < l.cfg.Ways; w++ {
+		b := &bk.blocks[base+w]
+		if !b.Valid {
+			anyInvalid = true
+		} else if b.NotInPrC {
+			anyNotInPrC = true
+			if b.LikelyDead {
+				anyDead = true
+			}
+		}
+	}
 	for _, lev := range l.levels {
-		bk.pvs[lev].Set(set, l.setSatisfies(bk, set, lev))
+		var v bool
+		switch lev {
+		case levInvalid:
+			v = anyInvalid
+		case levNotInPrC:
+			v = anyNotInPrC
+		case levLikelyDead:
+			v = anyDead
+		default:
+			v = l.setSatisfies(bk, set, lev)
+		}
+		bk.pvs[lev].Set(set, v)
 	}
 }
 
-// invalidWay returns an invalid way in (bank, set) or -1.
+// invalidWay returns an invalid way in (bank, set) or -1. Full sets (the
+// steady state after warmup) answer from the per-set valid count.
 func (l *LLC) invalidWay(bk *bank, set int) int {
+	if int(bk.validCnt[set]) == l.cfg.Ways {
+		return -1
+	}
 	base := set * l.cfg.Ways
 	for w := 0; w < l.cfg.Ways; w++ {
 		if !bk.blocks[base+w].Valid {

@@ -158,7 +158,7 @@ func (d *driver) access(core int, addr uint64, pc uint64) {
 		delete(d.priv, victimAddr)
 	}
 	out := d.llc.Fill(addr, core, false, true, m, d.now)
-	if out.Evicted != nil && out.Evicted.InPrC {
+	if out.Evicted.Valid && out.Evicted.InPrC {
 		d.backInvalidate(out.Evicted.Addr)
 	}
 	d.install(core, addr)

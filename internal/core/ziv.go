@@ -82,7 +82,7 @@ func (l *LLC) zivFill(bk *bank, set int, addr uint64, dirty, inPrC bool, m polic
 		l.fillWay(bk, set, victim, addr, dirty, inPrC, m)
 		return FillOutcome{
 			Loc:     directory.Location{Bank: bk.id, Set: set, Way: victim},
-			Evicted: &ev,
+			Evicted: ev,
 		}
 	}
 
@@ -108,7 +108,7 @@ func (l *LLC) zivFill(bk *bank, set int, addr uint64, dirty, inPrC bool, m polic
 			l.Stats.AlternateVictims++
 			return FillOutcome{
 				Loc:             directory.Location{Bank: bk.id, Set: set, Way: alt},
-				Evicted:         &ev,
+				Evicted:         ev,
 				AlternateVictim: true,
 			}
 		}
@@ -156,7 +156,7 @@ func (l *LLC) zivFill(bk *bank, set int, addr uint64, dirty, inPrC bool, m polic
 	l.fillWay(bk, set, victim, addr, dirty, inPrC, m)
 	return FillOutcome{
 		Loc:     directory.Location{Bank: bk.id, Set: set, Way: victim},
-		Evicted: &ev,
+		Evicted: ev,
 	}
 }
 
@@ -239,9 +239,10 @@ func (l *LLC) relocate(home *bank, homeSet, victimWay int, dst *bank, rs, dstWay
 	home.pol.OnInvalidate(homeSet, victimWay)
 	home.blocks[homeSet*l.cfg.Ways+victimWay] = Block{}
 	home.tags[homeSet*l.cfg.Ways+victimWay] = tagNone
+	home.validCnt[homeSet]--
 
 	// Find the destination way and evict its occupant if needed.
-	var evicted *Evicted
+	var evicted Evicted
 	var dstWay int
 	if lev == levInvalid {
 		dstWay = l.invalidWay(dst, rs)
@@ -256,11 +257,10 @@ func (l *LLC) relocate(home *bank, homeSet, victimWay int, dst *bank, rs, dstWay
 		if dstWay < 0 {
 			panic(fmt.Sprintf("core: %v PV pointed at set with no eligible victim", lev))
 		}
-		ev := l.evictWay(dst, rs, dstWay)
-		if l.cfg.DebugChecks && ev.InPrC {
+		evicted = l.evictWay(dst, rs, dstWay)
+		if l.cfg.DebugChecks && evicted.InPrC {
 			panic("core: relocation-set victim was privately cached")
 		}
-		evicted = &ev
 	}
 
 	// Install the relocated block. The insertion protects it (MRU/RRPV 0)
@@ -274,6 +274,7 @@ func (l *LLC) relocate(home *bank, homeSet, victimWay int, dst *bank, rs, dstWay
 		EvictCore: -1,
 	}
 	dst.tags[rs*l.cfg.Ways+dstWay] = tagNone // relocated blocks are invisible to lookups
+	dst.validCnt[rs]++
 	dst.pol.Promote(rs, dstWay)
 
 	// Record the new location in the directory entry.
@@ -322,7 +323,8 @@ func (l *LLC) relocate(home *bank, homeSet, victimWay int, dst *bank, rs, dstWay
 	return FillOutcome{
 		Loc:     directory.Location{Bank: home.id, Set: homeSet, Way: victimWay},
 		Evicted: evicted,
-		Relocation: &Relocation{
+		Relocation: Relocation{
+			Valid:        true,
 			Addr:         vb.Addr,
 			From:         directory.Location{Bank: home.id, Set: homeSet, Way: victimWay},
 			To:           to,
@@ -343,14 +345,13 @@ func (l *LLC) fillRelocated(home, dst *bank, rs int, lev level, addr uint64, dir
 	if !ok {
 		panic(fmt.Sprintf("core: FillCrossBank for untracked block %#x", addr))
 	}
-	var evicted *Evicted
+	var evicted Evicted
 	var dstWay int
 	if lev == levInvalid {
 		dstWay = l.invalidWay(dst, rs)
 	} else {
 		dstWay = l.relocVictimWay(dst, rs)
-		ev := l.evictWay(dst, rs, dstWay)
-		evicted = &ev
+		evicted = l.evictWay(dst, rs, dstWay)
 	}
 	dst.blocks[rs*l.cfg.Ways+dstWay] = Block{
 		Valid:     true,
@@ -361,6 +362,7 @@ func (l *LLC) fillRelocated(home, dst *bank, rs int, lev level, addr uint64, dir
 		EvictCore: -1,
 	}
 	dst.tags[rs*l.cfg.Ways+dstWay] = tagNone
+	dst.validCnt[rs]++
 	dst.pol.Promote(rs, dstWay)
 	to := directory.Location{Bank: dst.id, Set: rs, Way: dstWay}
 	e := l.dir.At(ptr)
@@ -374,7 +376,8 @@ func (l *LLC) fillRelocated(home, dst *bank, rs int, lev level, addr uint64, dir
 	return FillOutcome{
 		Loc:     to,
 		Evicted: evicted,
-		Relocation: &Relocation{
+		Relocation: Relocation{
+			Valid:     true,
 			Addr:      addr,
 			From:      directory.Location{Bank: home.id},
 			To:        to,

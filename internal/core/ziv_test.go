@@ -189,10 +189,10 @@ func TestFillOutcomeRelocationFields(t *testing.T) {
 		t.Fatal("unexpected directory eviction in setup")
 	}
 	out := llc.Fill(addr, 0, false, true, policy.Meta{Addr: addr}, 123)
-	if out.Relocation == nil {
+	if !out.Relocation.Valid {
 		t.Fatalf("expected relocation, got %+v", out)
 	}
-	rel := out.Relocation
+	rel := &out.Relocation
 	if rel.Level != "NotInPrC" {
 		t.Errorf("relocation level = %q", rel.Level)
 	}
@@ -203,7 +203,7 @@ func TestFillOutcomeRelocationFields(t *testing.T) {
 	if !b.Relocated || b.Addr != rel.Addr {
 		t.Errorf("block at relocation target: %+v", b)
 	}
-	if out.Evicted == nil || out.Evicted.InPrC {
+	if !out.Evicted.Valid || out.Evicted.InPrC {
 		t.Errorf("relocation-set eviction wrong: %+v", out.Evicted)
 	}
 	// Track residency for the driver's model before the final check.

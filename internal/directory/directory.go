@@ -168,6 +168,9 @@ type Directory struct {
 	bankBits uint
 	setMask  uint64
 	slices   []slice
+	// overflowLive tracks the live overflow population across all slices so
+	// the MaxOverflow high-water update is O(1) per spill.
+	overflowLive int
 
 	Stats Stats
 }
@@ -179,6 +182,10 @@ type slice struct {
 	tags     []uint64
 	pol      *policy.NRU
 	overflow map[uint64]*Entry
+	// free recycles overflow Entry boxes: a ZeroDEV workload churns
+	// spill/free pairs in the steady state, and reusing the boxes keeps the
+	// spill path allocation-free after the high-water mark.
+	free []*Entry
 }
 
 // tagNone marks an invalid entry in the tag sidecar (outside the 48-bit
@@ -309,7 +316,7 @@ func (d *Directory) Tracked(blockAddr uint64) bool {
 //
 // Allocate must not be called for an address that is already tracked.
 func (d *Directory) Allocate(blockAddr uint64, core int, st State) (p Ptr, evicted, spilled Entry) {
-	if e, _ := d.Lookup(blockAddr); e != nil {
+	if d.Tracked(blockAddr) {
 		panic(fmt.Sprintf("directory: Allocate of tracked block %#x", blockAddr))
 	}
 	d.Stats.Allocs++
@@ -319,23 +326,31 @@ func (d *Directory) Allocate(blockAddr uint64, core int, st State) (p Ptr, evict
 	base := set * d.cfg.Ways
 	way := -1
 	for w := 0; w < d.cfg.Ways; w++ {
-		if !sl.entries[base+w].Valid {
+		if sl.tags[base+w] == tagNone {
 			way = w
 			break
 		}
 	}
 	if way < 0 {
-		way = sl.pol.Rank(set)[0]
+		way = sl.pol.Victim(set)
 		victim := sl.entries[base+way]
 		sl.pol.OnEvict(set, way)
 		d.Stats.Evictions++
 		if d.cfg.ZeroDEV {
 			d.Stats.Spills++
-			cp := victim
-			sl.overflow[victim.Addr] = &cp
+			var box *Entry
+			if n := len(sl.free); n > 0 {
+				box = sl.free[n-1]
+				sl.free = sl.free[:n-1]
+			} else {
+				box = new(Entry)
+			}
+			*box = victim
+			sl.overflow[victim.Addr] = box
 			spilled = victim
-			if n := d.overflowCount(); n > d.Stats.MaxOverflow {
-				d.Stats.MaxOverflow = n
+			d.overflowLive++
+			if d.overflowLive > d.Stats.MaxOverflow {
+				d.Stats.MaxOverflow = d.overflowLive
 			}
 		} else {
 			evicted = victim
@@ -372,7 +387,12 @@ func (d *Directory) Free(p Ptr) {
 	sl := &d.slices[p.Bank]
 	d.Stats.Frees++
 	if p.Way < 0 {
-		delete(sl.overflow, p.OverflowAddr)
+		if box, ok := sl.overflow[p.OverflowAddr]; ok {
+			delete(sl.overflow, p.OverflowAddr)
+			*box = Entry{}
+			sl.free = append(sl.free, box)
+			d.overflowLive--
+		}
 		return
 	}
 	sl.entries[p.Set*d.cfg.Ways+p.Way] = Entry{}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"zivsim/internal/core"
 	"zivsim/internal/directory"
@@ -45,6 +46,11 @@ type Options struct {
 	Seed uint64
 	// Parallelism bounds concurrent simulations (0 = NumCPU).
 	Parallelism int
+	// CacheDir, when non-empty, persists every simulation result to disk
+	// (one JSON file per (options, config, mix) key) and reuses it across
+	// processes. Neither CacheDir nor Parallelism affects simulation
+	// results, so both are excluded from cache keys.
+	CacheDir string
 }
 
 // DefaultOptions returns laptop-scale settings.
@@ -95,6 +101,7 @@ type Result struct {
 func runOne(cfg hierarchy.Config, gens []trace.Generator, warmup, measure int) Result {
 	m := hierarchy.New(cfg, gens, warmup, measure)
 	m.Run()
+	simulatedRefs.Add(uint64(len(gens)) * uint64(warmup+measure))
 	cores := m.CoreStats()
 	r := Result{
 		Config: cfg,
@@ -139,8 +146,7 @@ var (
 )
 
 func newRunner(opt Options) *runner {
-	key := opt
-	key.Parallelism = 0 // parallelism does not affect results
+	key := opt.normalized()
 	runnersMu.Lock()
 	defer runnersMu.Unlock()
 	if r := runners[key]; r != nil {
@@ -151,6 +157,30 @@ func newRunner(opt Options) *runner {
 	runners[key] = r
 	return r
 }
+
+// normalized zeroes the Options fields that do not affect simulation
+// results; the remainder keys both the in-process memo and the disk cache.
+func (o Options) normalized() Options {
+	o.Parallelism = 0
+	o.CacheDir = ""
+	return o
+}
+
+// ResetMemo drops every in-process cached result. Benchmarks use it to make
+// each iteration pay the full simulation cost instead of a memo hit.
+func ResetMemo() {
+	runnersMu.Lock()
+	defer runnersMu.Unlock()
+	runners = map[Options]*runner{}
+}
+
+// simulatedRefs counts memory references simulated by runOne across the
+// process lifetime (warmup + measurement, all cores). Benchmarks divide it
+// by wall time for a work-normalized refs/sec metric.
+var simulatedRefs atomic.Uint64
+
+// SimulatedRefs returns the total memory references simulated so far.
+func SimulatedRefs() uint64 { return simulatedRefs.Load() }
 
 func (r *runner) key(cfgLabel, mixName string) string { return cfgLabel + "|" + mixName }
 
@@ -163,7 +193,16 @@ func paramsFor(cfg hierarchy.Config, baseL2 int) workload.Params {
 	}
 }
 
+// cost estimates a job's simulation work: references simulated scale with
+// the core count (warmup/measure are per core and shared across a runner).
+func (j job) cost() int { return j.cfg.Cores }
+
 // runAll executes every job (cached by (config label, mix)) in parallel.
+// Jobs are sorted longest-first so the schedule's tail holds the short
+// jobs — a long job dispatched last would serialize behind the whole batch.
+// A fixed pool of Parallelism workers drains the sorted list in order,
+// which keeps the dispatch sequence deterministic (results are keyed, so
+// completion order never affects output).
 func (r *runner) runAll(jobs []job, baseL2 int) {
 	todo := make([]job, 0, len(jobs))
 	seen := map[string]bool{}
@@ -180,25 +219,56 @@ func (r *runner) runAll(jobs []job, baseL2 int) {
 			todo = append(todo, j)
 		}
 	}
+	if r.opt.CacheDir != "" {
+		rest := todo[:0]
+		for _, j := range todo {
+			if res, ok := r.diskLoad(j, baseL2); ok {
+				r.mu.Lock()
+				r.results[r.key(j.cfgLabel, j.mix.Name)] = res
+				r.mu.Unlock()
+				continue
+			}
+			rest = append(rest, j)
+		}
+		todo = rest
+	}
+	sort.SliceStable(todo, func(i, k int) bool {
+		ci, ck := todo[i].cost(), todo[k].cost()
+		if ci != ck {
+			return ci > ck
+		}
+		return r.key(todo[i].cfgLabel, todo[i].mix.Name) < r.key(todo[k].cfgLabel, todo[k].mix.Name)
+	})
 	par := r.opt.Parallelism
 	if par <= 0 {
 		par = runtime.NumCPU()
 	}
-	sem := make(chan struct{}, par)
+	if par > len(todo) {
+		par = len(todo)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for _, j := range todo {
+	for w := 0; w < par; w++ {
 		wg.Add(1)
-		go func(j job) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			p := paramsFor(j.cfg, baseL2)
-			gens := workload.BuildMix(j.mix, p, r.opt.Seed)
-			res := runOne(j.cfg, gens, r.opt.Warmup, r.opt.Measure)
-			r.mu.Lock()
-			r.results[r.key(j.cfgLabel, j.mix.Name)] = res
-			r.mu.Unlock()
-		}(j)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(todo) {
+					return
+				}
+				j := todo[i]
+				p := paramsFor(j.cfg, baseL2)
+				gens := workload.BuildMix(j.mix, p, r.opt.Seed)
+				res := runOne(j.cfg, gens, r.opt.Warmup, r.opt.Measure)
+				r.mu.Lock()
+				r.results[r.key(j.cfgLabel, j.mix.Name)] = res
+				r.mu.Unlock()
+				if r.opt.CacheDir != "" {
+					r.diskStore(j, baseL2, res)
+				}
+			}
+		}()
 	}
 	wg.Wait()
 }

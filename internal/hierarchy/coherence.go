@@ -168,15 +168,15 @@ func (m *Machine) handleDirEviction(ev directory.Entry) {
 // inclusive LLC are back-invalidated, generating inclusion victims — the
 // event the ZIV design eliminates.
 func (m *Machine) handleFillOutcome(requester int, out core.FillOutcome) {
-	if out.Relocation != nil {
+	if out.Relocation.Valid {
 		m.meter.Add(energy.Relocation, 1)
 		m.meter.Add(energy.DirUpdate, 1)
 		if out.Relocation.CrossBank {
 			m.meter.Add(energy.MeshHop, 2)
 		}
 	}
-	ev := out.Evicted
-	if ev == nil {
+	ev := &out.Evicted
+	if !ev.Valid {
 		return
 	}
 	if ev.InPrC && m.cfg.Mode == Inclusive {

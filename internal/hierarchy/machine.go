@@ -196,7 +196,7 @@ func (m *Machine) fillL1(c *coreState, blockAddr uint64, dirty, writable bool, m
 	set := c.l1.SetIndex(blockAddr)
 	way := c.l1.InvalidWay(set)
 	if way < 0 {
-		way = c.l1.VictimRank(set)[0]
+		way = c.l1.Victim(set)
 		victim := c.l1.EvictWay(set, way)
 		m.handleL1Victim(c, victim)
 	}
@@ -230,7 +230,7 @@ func (m *Machine) fillL2(c *coreState, blockAddr uint64, dirty, writable bool, m
 	set := c.l2.SetIndex(blockAddr)
 	way := c.l2.InvalidWay(set)
 	if way < 0 {
-		way = c.l2.VictimRank(set)[0]
+		way = c.l2.Victim(set)
 		victim := c.l2.EvictWay(set, way)
 		vm := *c.l2MetaAt(set, way)
 		m.handleL2Victim(c, victim, vm)

@@ -102,35 +102,43 @@ func (m *Machine) accessL2(c *coreState, blockAddr uint64, write bool, meta poli
 func (m *Machine) Run() {
 	target := m.warmupRefs + m.measuredRefs
 	remaining := len(m.cores)
-	warmupPending := m.warmupRefs > 0
+	// notWarm counts cores still inside warmup; a core leaves the count on
+	// the step where its refIdx reaches warmupRefs, so the all-warm reset
+	// fires at exactly the same step as a full rescan would find it.
+	notWarm := 0
+	if m.warmupRefs > 0 {
+		notWarm = len(m.cores)
+	}
+	// cycles mirrors each core's local clock in one contiguous array: the
+	// per-step min-scan below touches a couple of cache lines instead of
+	// striding across the coreState structs. Only the stepped core's clock
+	// ever changes, so one write-back per step keeps it exact.
+	cycles := make([]uint64, len(m.cores))
+	for i := range m.cores {
+		cycles[i] = m.cores[i].cycle
+	}
 	for remaining > 0 {
 		// Min-cycle scheduling: the core furthest behind in time issues
 		// next, so slow (miss-heavy) cores issue fewer references per unit
-		// of global time.
+		// of global time. Ties go to the lowest core index.
 		ci := 0
-		min := m.cores[0].cycle
-		for i := 1; i < len(m.cores); i++ {
-			if m.cores[i].cycle < min {
-				min = m.cores[i].cycle
+		min := cycles[0]
+		for i := 1; i < len(cycles); i++ {
+			if cy := cycles[i]; cy < min {
+				min = cy
 				ci = i
 			}
 		}
 		c := &m.cores[ci]
 		m.step(c)
+		cycles[ci] = c.cycle
 		if !c.done && c.refIdx >= target {
 			c.done = true
 			remaining--
 		}
-		if warmupPending {
-			allWarm := true
-			for i := range m.cores {
-				if m.cores[i].refIdx < m.warmupRefs {
-					allWarm = false
-					break
-				}
-			}
-			if allWarm {
-				warmupPending = false
+		if notWarm > 0 && c.refIdx == m.warmupRefs {
+			notWarm--
+			if notWarm == 0 {
 				m.resetGlobalStats()
 			}
 		}

@@ -1,0 +1,104 @@
+package policy
+
+// Victimer is the single-victim fast path: Victim(set) returns exactly
+// Rank(set)[0] — including any side effects Rank performs (SRRIP ages the
+// set) — without materializing or sorting the full preference order. The
+// cache substrates consult it on every replacement, which makes it the
+// hottest policy entry point; the full Rank order is only needed by the
+// LLC schemes that walk the preference order (QBS, SHARP, CHARonBase, the
+// ZIV relocation-victim search).
+type Victimer interface {
+	// Victim returns the way Rank(set)[0] would return.
+	Victim(set int) int
+}
+
+// Victim implements Victimer: the way with the smallest timestamp, ties
+// broken by lowest way index — identical to Rank's stable ascending sort.
+func (p *LRU) Victim(set int) int {
+	stamp := p.stamp[set*p.ways : (set+1)*p.ways]
+	best, bestStamp := 0, stamp[0]
+	for w := 1; w < len(stamp); w++ {
+		if s := stamp[w]; s < bestStamp {
+			best, bestStamp = w, s
+		}
+	}
+	return best
+}
+
+// Victim implements Victimer: the first unreferenced way, or way 0 when
+// every way is referenced — identical to Rank's two-class order.
+func (p *NRU) Victim(set int) int {
+	base := set * p.ways
+	for w := 0; w < p.ways; w++ {
+		if !p.ref[base+w] {
+			return w
+		}
+	}
+	return 0
+}
+
+// Victim implements Victimer. The canonical SRRIP aging step is applied
+// exactly as Rank does (the side effect must happen regardless of which
+// entry point picks the victim); afterwards the first way at the
+// distant-future RRPV is the victim, matching Rank's stable descending
+// sort.
+func (p *SRRIP) Victim(set int) int {
+	base := set * p.ways
+	maxSeen := 0
+	for w := 0; w < p.ways; w++ {
+		if p.rrpv[base+w] > maxSeen {
+			maxSeen = p.rrpv[base+w]
+		}
+	}
+	if delta := p.max - maxSeen; delta > 0 {
+		for w := 0; w < p.ways; w++ {
+			p.rrpv[base+w] += delta
+		}
+	}
+	for w := 0; w < p.ways; w++ {
+		if p.rrpv[base+w] == p.max {
+			return w
+		}
+	}
+	return 0 // unreachable: aging guarantees a max-RRPV way
+}
+
+// Victim implements Victimer: the first way holding the set's maximum
+// RRPV — identical to Rank's stable descending sort.
+func (p *Hawkeye) Victim(set int) int {
+	rrpv := p.rrpv[set*p.ways : (set+1)*p.ways]
+	best, bestRRPV := 0, rrpv[0]
+	for w := 1; w < len(rrpv); w++ {
+		if r := rrpv[w]; r > bestRRPV {
+			best, bestRRPV = w, r
+		}
+	}
+	return best
+}
+
+// Victim implements Victimer: the valid way whose next use is furthest in
+// the future (invalid ways query as most-imminent, exactly like Rank).
+func (p *MIN) Victim(set int) int {
+	base := set * p.ways
+	best := 0
+	var bestNU uint64
+	for w := 0; w < p.ways; w++ {
+		i := base + w
+		var nu uint64
+		if p.valid[i] {
+			nu = p.oracle.NextUse(p.addr[i], p.now)
+		}
+		if w == 0 || nu > bestNU {
+			best, bestNU = w, nu
+		}
+	}
+	return best
+}
+
+var (
+	_ Victimer = (*LRU)(nil)
+	_ Victimer = (*NRU)(nil)
+	_ Victimer = (*SRRIP)(nil)
+	_ Victimer = (*Hawkeye)(nil)
+	_ Victimer = (*MIN)(nil)
+)
