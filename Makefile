@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz bench bench-quick ci
+.PHONY: all build vet lint lint-sarif lint-baseline test race fuzz bench bench-quick ci
 
 all: ci
 
@@ -12,8 +12,18 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Diff-gated: findings recorded in zivlint.baseline.json do not fail the
+# run; only fresh findings do.
 lint:
 	$(GO) run ./cmd/zivlint ./...
+
+# Same gate, but also leaves a SARIF report for upload/inspection.
+lint-sarif:
+	$(GO) run ./cmd/zivlint -format=sarif -o zivlint.sarif ./...
+
+# Accept the current findings as the new baseline (commit the result).
+lint-baseline:
+	$(GO) run ./cmd/zivlint -write-baseline ./...
 
 test:
 	$(GO) test ./...

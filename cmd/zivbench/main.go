@@ -115,9 +115,9 @@ func main() {
 			}
 		}
 		rep.Figures = append(rep.Figures, r)
-		fmt.Printf("%-8s %8.2fs  %9d refs  %12.0f refs/s", id, r.Seconds, r.Refs, r.RefsPerSec)
+		fmt.Printf("%-8s %8.2fs  %9d refs  %12.0f refs/s", id, r.Seconds, r.Refs, r.RefsPerSec) //ziv:ignore(detflow) wall-clock timing is the bench's payload
 		if r.Speedup > 0 {
-			fmt.Printf("  %.2fx vs seed", r.Speedup)
+			fmt.Printf("  %.2fx vs seed", r.Speedup) //ziv:ignore(detflow) wall-clock timing is the bench's payload
 		}
 		fmt.Println()
 	}

@@ -1,28 +1,199 @@
-// Command zivlint is the project's static-analysis suite: a multichecker
-// over the four zivsim-specific analyzers that keep the simulator
-// deterministic and its runtime invariant checks sound.
+// Command zivlint is the project's static-analysis suite: seven
+// zivsim-specific analyzers over a shared CFG/dataflow framework that
+// keep the simulator deterministic, its sidecar structures coherent,
+// its hot paths allocation-free, and its runtime invariant checks
+// sound.
 //
-//	zivlint ./...          # analyze the whole module (CI default)
-//	zivlint help           # list analyzers
+//	zivlint ./...                        # analyze the module (CI default)
+//	zivlint -format=sarif -o out.sarif ./...
+//	zivlint -write-baseline ./...        # accept current findings
+//	zivlint help                         # list analyzers
 //
-// Exit status is 0 when clean, 1 when any analyzer reports a finding,
-// and 2 on load errors. Individual findings can be waived in source with
-// //zivlint:ignore <analyzer> <reason>.
+// Findings already recorded in the committed baseline
+// (zivlint.baseline.json by default, -baseline to override, -baseline=
+// to disable) are filtered out: only fresh findings fail the build, so
+// new analyzers can land with known debt while still gating every diff.
+// Individual findings are waived in source with
+// //ziv:ignore(analyzer) reason.
+//
+// Exit status is 0 when no fresh findings remain, 1 when fresh findings
+// are reported, and 2 on usage or load errors.
 package main
 
 import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"zivsim/internal/analysis/allocpure"
 	"zivsim/internal/analysis/blockmutation"
+	"zivsim/internal/analysis/detflow"
 	"zivsim/internal/analysis/framework"
 	"zivsim/internal/analysis/nodeterminism"
+	"zivsim/internal/analysis/sarif"
+	"zivsim/internal/analysis/sidecarsync"
 	"zivsim/internal/analysis/statreset"
 	"zivsim/internal/analysis/uncheckedinvariant"
 )
 
+var analyzers = []*framework.Analyzer{
+	allocpure.Analyzer,
+	blockmutation.Analyzer,
+	detflow.Analyzer,
+	nodeterminism.Analyzer,
+	sidecarsync.Analyzer,
+	statreset.Analyzer,
+	uncheckedinvariant.Analyzer,
+}
+
 func main() {
-	framework.Main(
-		blockmutation.Analyzer,
-		nodeterminism.Analyzer,
-		statreset.Analyzer,
-		uncheckedinvariant.Analyzer,
-	)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("zivlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "human", "output format: human, json, or sarif")
+	outPath := fs.String("o", "", "write output to file instead of stdout")
+	baselinePath := fs.String("baseline", "zivlint.baseline.json",
+		"baseline file filtering known findings; empty disables")
+	writeBaseline := fs.Bool("write-baseline", false,
+		"record current findings as the new baseline and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: zivlint [flags] [packages]\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(stderr, "  %-20s %s\n", a.Name, framework.FirstLine(a.Doc))
+		}
+	}
+
+	if len(argv) > 0 && argv[0] == "help" {
+		fs.Usage()
+		return 0
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	switch *format {
+	case "human", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "zivlint: unknown format %q\n", *format)
+		return 2
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "zivlint: -write-baseline requires a -baseline path")
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "zivlint:", err)
+		return 2
+	}
+
+	res, err := framework.RunSuite(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "zivlint:", err)
+		return 2
+	}
+
+	if *writeBaseline {
+		b := framework.NewBaseline(root, res.Diags)
+		if err := b.Write(*baselinePath); err != nil {
+			fmt.Fprintln(stderr, "zivlint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "zivlint: wrote %s (%d findings across %d packages)\n",
+			*baselinePath, len(res.Diags), res.Packages)
+		return 0
+	}
+
+	fresh := res.Diags
+	baselined := 0
+	if *baselinePath != "" {
+		b, err := framework.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "zivlint:", err)
+			return 2
+		}
+		var known []framework.Diagnostic
+		known, fresh = b.Filter(root, res.Diags)
+		baselined = len(known)
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "zivlint:", err)
+			return 2
+		}
+		defer f.Close()
+		out = f
+	}
+
+	switch *format {
+	case "human":
+		for _, d := range fresh {
+			fmt.Fprintln(out, d)
+		}
+		if baselined > 0 {
+			fmt.Fprintf(stderr, "zivlint: %d baselined finding(s) suppressed\n", baselined)
+		}
+	case "json":
+		if err := writeJSON(out, root, fresh); err != nil {
+			fmt.Fprintln(stderr, "zivlint:", err)
+			return 2
+		}
+	case "sarif":
+		var rules []sarif.RuleInfo
+		for _, a := range analyzers {
+			rules = append(rules, sarif.RuleInfo{Name: a.Name, Doc: a.Doc})
+		}
+		raw, err := sarif.Marshal(sarif.New(root, rules, fresh))
+		if err != nil {
+			fmt.Fprintln(stderr, "zivlint:", err)
+			return 2
+		}
+		if _, err := out.Write(raw); err != nil {
+			fmt.Fprintln(stderr, "zivlint:", err)
+			return 2
+		}
+	}
+
+	if len(fresh) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// jsonDiag is the -format=json record: repo-relative, line-keyed, and
+// stable field order for diffable output.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(out *os.File, root string, diags []framework.Diagnostic) error {
+	recs := []jsonDiag{} // non-nil: a clean run is [], not null
+	for _, d := range diags {
+		recs = append(recs, jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     framework.RelFile(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "\t")
+	return enc.Encode(recs)
 }

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"zivsim/internal/analysis/sarif"
+)
+
+// capture runs the CLI entry point with argv and returns the exit code
+// and the captured stdout/stderr contents. run takes *os.File (it is
+// handed os.Stdout in production), so the capture goes through real
+// temp files rather than buffers.
+func capture(t *testing.T, argv ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	dir := t.TempDir()
+	open := func(name string) *os.File {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	so, se := open("stdout"), open("stderr")
+	code = run(argv, so, se)
+	read := func(f *os.File) string {
+		name := f.Name()
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	return code, read(so), read(se)
+}
+
+// TestSARIFFullRepo is the SARIF regression gate: two full-module runs
+// must produce byte-identical, schema-valid SARIF 2.1.0, and the whole
+// double run must finish inside a generous wall-clock bound so the
+// suite stays cheap enough for every CI invocation.
+func TestSARIFFullRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module analysis in -short mode")
+	}
+	start := time.Now()
+	code1, out1, err1 := capture(t, "-format=sarif", "-baseline=", "zivsim/...")
+	code2, out2, err2 := capture(t, "-format=sarif", "-baseline=", "zivsim/...")
+	elapsed := time.Since(start)
+
+	if code1 != 0 {
+		t.Fatalf("first run: exit %d\nstderr:\n%s", code1, err1)
+	}
+	if code2 != 0 {
+		t.Fatalf("second run: exit %d\nstderr:\n%s", code2, err2)
+	}
+	if out1 != out2 {
+		t.Fatalf("SARIF output not byte-identical across runs:\nfirst %d bytes, second %d bytes", len(out1), len(out2))
+	}
+	if err := sarif.Validate([]byte(out1)); err != nil {
+		t.Fatalf("SARIF output invalid: %v", err)
+	}
+	var envelope struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string            `json:"name"`
+					Rules []json.RawMessage `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out1), &envelope); err != nil {
+		t.Fatalf("decoding SARIF: %v", err)
+	}
+	if envelope.Version != "2.1.0" {
+		t.Errorf("SARIF version = %q, want 2.1.0", envelope.Version)
+	}
+	if len(envelope.Runs) != 1 {
+		t.Fatalf("SARIF runs = %d, want 1", len(envelope.Runs))
+	}
+	if got := len(envelope.Runs[0].Tool.Driver.Rules); got != len(analyzers) {
+		t.Errorf("rule catalog has %d entries, want %d (one per analyzer)", got, len(analyzers))
+	}
+	if n := len(envelope.Runs[0].Results); n != 0 {
+		t.Errorf("full-module run reports %d findings, want a clean tree", n)
+	}
+
+	// Time bound: the double full-module run (load, type-check, seven
+	// analyzers, twice) must stay well under CI-breaking territory.
+	const bound = 3 * time.Minute
+	if elapsed > bound {
+		t.Errorf("two full-module runs took %v, want < %v", elapsed, bound)
+	}
+	t.Logf("two full-module SARIF runs in %v (%d bytes each)", elapsed, len(out1))
+}
+
+// TestBaselineGate runs the suite exactly as CI does — against the
+// committed baseline — and requires a clean exit.
+func TestBaselineGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module analysis in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := filepath.Join(root, "zivlint.baseline.json")
+	if _, err := os.Stat(baseline); err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	code, _, stderr := capture(t, "-baseline="+baseline, "zivsim/...")
+	if code != 0 {
+		t.Fatalf("exit %d against committed baseline\nstderr:\n%s", code, stderr)
+	}
+}
+
+// TestJSONCleanPackageIsEmptyArray checks the -format=json contract: a
+// clean run emits [], never null, so downstream jq pipelines can rely
+// on an array.
+func TestJSONCleanPackageIsEmptyArray(t *testing.T) {
+	code, stdout, stderr := capture(t, "-format=json", "-baseline=", "zivsim/cmd/zivlint")
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr)
+	}
+	if got := strings.TrimSpace(stdout); got != "[]" {
+		t.Fatalf("clean JSON output = %q, want []", got)
+	}
+}
+
+// TestHelpListsAllAnalyzers keeps the CLI's self-description in sync
+// with the registered analyzer set.
+func TestHelpListsAllAnalyzers(t *testing.T) {
+	code, _, stderr := capture(t, "help")
+	if code != 0 {
+		t.Fatalf("help: exit %d", code)
+	}
+	for _, a := range analyzers {
+		if !strings.Contains(stderr, a.Name) {
+			t.Errorf("help output missing analyzer %q", a.Name)
+		}
+	}
+}
+
+// TestUsageErrors checks the exit-2 contract for bad invocations.
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := capture(t, "-format=yaml", "zivsim/cmd/zivlint"); code != 2 {
+		t.Errorf("unknown format: exit %d, want 2", code)
+	}
+	if code, _, _ := capture(t, "-write-baseline", "-baseline=", "zivsim/cmd/zivlint"); code != 2 {
+		t.Errorf("-write-baseline without path: exit %d, want 2", code)
+	}
+}

@@ -127,7 +127,7 @@ func printStats(name string, g trace.Generator, n int) {
 	fmt.Printf("%s over %d refs:\n", name, n)
 	fmt.Printf("  footprint:     %d blocks (%.1f KB)\n", len(blocks), float64(len(blocks))*64/1024)
 	fmt.Printf("  reused blocks: %d (%.1f%%), hottest touched %d times\n",
-		reused, 100*float64(reused)/float64(len(blocks)), maxTouch)
+		reused, 100*float64(reused)/float64(len(blocks)), maxTouch) //ziv:ignore(detflow) max over map values is order-insensitive
 	fmt.Printf("  write frac:    %.2f\n", float64(writes)/float64(n))
 	fmt.Printf("  mean gap:      %.1f non-memory instructions\n", float64(gaps)/float64(n))
 }

@@ -1,0 +1,465 @@
+// Package allocpure enforces allocation-free hot paths. Functions
+// annotated //ziv:noalloc — the fill/evict/victim paths the benchmarks
+// guard with testing.AllocsPerRun — must not contain constructs that
+// heap-allocate on the steady-state path:
+//
+//   - map and slice composite literals, &T{} literals
+//   - make, new, and append
+//   - closures that capture locals and escape (returned, stored, or
+//     passed away); immediately-invoked closures, locally-called-only
+//     closures, and literals passed to such local closures are exempt
+//   - conversions of non-pointer-shaped concrete values to interfaces
+//   - calls to functions known to allocate, interprocedurally: local
+//     summaries iterate to a package fixpoint, cross-package summaries
+//     travel as facts, and a small table covers the obvious stdlib
+//     offenders (fmt, strconv formatting, sort.Slice)
+//
+// Panic paths are exempt: an allocation inside a guard whose block
+// never reaches the function exit (it ends in panic or os.Exit) is
+// error-construction on the failure path, not steady-state cost. The
+// check rides the same CFG the sidecar analysis uses, so "never reaches
+// the exit" is decided structurally, not by pattern-matching if bodies.
+package allocpure
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"zivsim/internal/analysis/cfg"
+	"zivsim/internal/analysis/framework"
+)
+
+// Analyzer is the allocpure analysis.
+var Analyzer = &framework.Analyzer{
+	Name: "allocpure",
+	Doc:  "//ziv:noalloc functions must not heap-allocate on non-panic paths",
+	Run:  run,
+}
+
+// allocsKey is the per-package fact: function full name → allocates.
+const allocsKey = "allocs"
+
+var noallocRe = regexp.MustCompile(`^//\s*ziv:noalloc\b`)
+
+// stdlibAllocs lists standard-library functions that always allocate.
+// The loader does not type-check the standard library's bodies, so
+// these cannot be summarized; the table covers what simulator code
+// plausibly reaches for.
+var stdlibAllocs = map[string]bool{
+	"errors.New":         true,
+	"fmt.Errorf":         true,
+	"fmt.Fprint":         true,
+	"fmt.Fprintf":        true,
+	"fmt.Fprintln":       true,
+	"fmt.Print":          true,
+	"fmt.Printf":         true,
+	"fmt.Println":        true,
+	"fmt.Sprint":         true,
+	"fmt.Sprintf":        true,
+	"fmt.Sprintln":       true,
+	"sort.Slice":         true,
+	"sort.SliceStable":   true,
+	"sort.Stable":        true,
+	"strconv.FormatInt":  true,
+	"strconv.FormatUint": true,
+	"strconv.Itoa":       true,
+	"strconv.Quote":      true,
+	"strings.Join":       true,
+	"strings.Repeat":     true,
+}
+
+type analyzer struct {
+	pass *framework.Pass
+	info *types.Info
+	// allocs summarizes every function in this package: does its body
+	// contain an allocation site on a non-panic path?
+	allocs map[string]bool
+}
+
+func run(pass *framework.Pass) (any, error) {
+	a := &analyzer{pass: pass, info: pass.TypesInfo, allocs: map[string]bool{}}
+
+	// Summaries feed call-site checks, and local call chains need the
+	// callee's verdict before the caller's; iterate to a fixpoint (the
+	// verdict only flips false→true, so this terminates fast).
+	for {
+		changed := false
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := a.info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				got := a.analyzeFunc(fd, fn, false)
+				if got && !a.allocs[fn.FullName()] {
+					a.allocs[fn.FullName()] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Report pass over the annotated functions only.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isNoalloc(fd) {
+				continue
+			}
+			fn, _ := a.info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			a.analyzeFunc(fd, fn, true)
+		}
+	}
+
+	pass.ExportFact(allocsKey, a.allocs)
+	return nil, nil
+}
+
+func isNoalloc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if noallocRe.MatchString(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzeFunc walks fd's non-panic CFG blocks for allocation sites.
+// With report set it emits diagnostics; either way it returns whether
+// any site was found (the function's summary verdict).
+func (a *analyzer) analyzeFunc(fd *ast.FuncDecl, fn *types.Func, report bool) bool {
+	g := cfg.New(fd.Body)
+	pd := g.PostDominators()
+	clean := a.cleanClosures(fd.Body)
+
+	found := false
+	w := &walker{
+		a:      a,
+		fd:     fd,
+		sig:    fn.Type().(*types.Signature),
+		clean:  clean,
+		report: report,
+		hit:    func() { found = true },
+	}
+	for _, b := range g.Blocks {
+		if !pd.Reaches(b) {
+			continue // panic path: error construction is exempt
+		}
+		for _, n := range b.Nodes {
+			for _, root := range cfg.ScanRoots(n) {
+				w.walk(root)
+			}
+		}
+	}
+	return found
+}
+
+// cleanClosures marks FuncLits that do not count as escaping: those
+// immediately invoked, and those bound once to a local variable that is
+// only ever called.
+func (a *analyzer) cleanClosures(body *ast.BlockStmt) map[*ast.FuncLit]bool {
+	clean := map[*ast.FuncLit]bool{}
+
+	// Idents appearing in call position (fn(), defer fn(), go fn()).
+	called := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+			clean[lit] = true // immediately invoked: runs inline
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			called[id] = true
+		}
+		return true
+	})
+
+	cleanVars := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := a.info.Defs[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			if a.onlyCalled(body, v, called) {
+				clean[lit] = true
+				cleanVars[v] = true
+			}
+		}
+		return true
+	})
+
+	// Literal arguments to calls of those variables run inline too: the
+	// callee is a local closure that never escapes, so a func-typed
+	// argument cannot outlive the call either. gc's inliner flattens the
+	// whole pattern (verified with -gcflags=-m on the victim-scan
+	// helpers), so no environment is allocated.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || !cleanVars[a.info.Uses[id]] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+				clean[lit] = true
+			}
+		}
+		return true
+	})
+	return clean
+}
+
+// onlyCalled reports whether every use of v is in call position.
+func (a *analyzer) onlyCalled(body *ast.BlockStmt, v *types.Var, called map[*ast.Ident]bool) bool {
+	ok := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || a.info.Uses[id] != types.Object(v) {
+			return true
+		}
+		if !called[id] {
+			ok = false
+		}
+		return true
+	})
+	return ok
+}
+
+// walker visits one CFG node's subtree looking for allocation sites.
+type walker struct {
+	a      *analyzer
+	fd     *ast.FuncDecl
+	sig    *types.Signature
+	clean  map[*ast.FuncLit]bool
+	report bool
+	hit    func()
+}
+
+func (w *walker) found(pos token.Pos, format string, args ...any) {
+	w.hit()
+	if w.report {
+		w.a.pass.Reportf(pos, format, args...)
+	}
+}
+
+func (w *walker) walk(n ast.Node) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.CompositeLit:
+			switch w.a.info.TypeOf(c).Underlying().(type) {
+			case *types.Map:
+				w.found(c.Pos(), "map literal allocates in //ziv:noalloc function")
+			case *types.Slice:
+				w.found(c.Pos(), "slice literal allocates in //ziv:noalloc function")
+			}
+		case *ast.UnaryExpr:
+			if c.Op == token.AND {
+				if _, ok := ast.Unparen(c.X).(*ast.CompositeLit); ok {
+					w.found(c.Pos(), "composite literal escapes to the heap in //ziv:noalloc function")
+				}
+			}
+		case *ast.FuncLit:
+			if w.clean[c] {
+				return true // immediately invoked or only called locally: descend
+			}
+			if w.captures(c) {
+				w.found(c.Pos(), "escaping closure allocates in //ziv:noalloc function")
+			}
+			return false // its body runs elsewhere; don't double-report
+		case *ast.CallExpr:
+			w.call(c)
+		case *ast.AssignStmt:
+			if c.Tok == token.ASSIGN && len(c.Lhs) == len(c.Rhs) {
+				for i := range c.Lhs {
+					w.ifaceConv(c.Rhs[i], w.a.info.TypeOf(c.Lhs[i]))
+				}
+			}
+		case *ast.ReturnStmt:
+			res := w.sig.Results()
+			if len(c.Results) == res.Len() {
+				for i, r := range c.Results {
+					w.ifaceConv(r, res.At(i).Type())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// call checks one call expression: allocating builtins, explicit
+// interface conversions, interface-typed arguments, and callees whose
+// summary (local, imported, or stdlib table) says they allocate.
+func (w *walker) call(call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := w.a.info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				w.found(call.Pos(), "make allocates in //ziv:noalloc function")
+			case "new":
+				w.found(call.Pos(), "new allocates in //ziv:noalloc function")
+			case "append":
+				w.found(call.Pos(), "append may reallocate in //ziv:noalloc function")
+			}
+			return
+		}
+	}
+
+	// Explicit conversion T(x).
+	if tv, ok := w.a.info.Types[fun]; ok && tv.IsType() {
+		for _, arg := range call.Args {
+			w.ifaceConv(arg, tv.Type)
+		}
+		return
+	}
+
+	// Interface-typed parameters box their arguments.
+	if sig, ok := w.a.info.TypeOf(fun).(*types.Signature); ok && sig != nil {
+		params := sig.Params()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= params.Len()-1:
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			case i < params.Len():
+				pt = params.At(i).Type()
+			}
+			if pt != nil {
+				w.ifaceConv(arg, pt)
+			}
+		}
+	}
+
+	// Known-allocating callees.
+	fn := calledFunc(w.a.info, call)
+	if fn == nil {
+		return
+	}
+	full := fullName(fn)
+	allocates := stdlibAllocs[full]
+	if !allocates {
+		if v, ok := w.a.allocs[fn.FullName()]; ok {
+			allocates = v
+		} else if fn.Pkg() != nil && fn.Pkg().Path() != w.a.pass.PkgPath {
+			if f, ok := w.a.pass.ImportFact(fn.Pkg().Path(), allocsKey); ok {
+				if m, isMap := f.(map[string]bool); isMap {
+					allocates = m[fn.FullName()]
+				}
+			}
+		}
+	}
+	if allocates {
+		w.found(call.Pos(), "call to %s allocates in //ziv:noalloc function", fn.Name())
+	}
+}
+
+// ifaceConv flags the boxing of a non-pointer-shaped concrete value
+// into an interface.
+func (w *walker) ifaceConv(expr ast.Expr, target types.Type) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	et := w.a.info.TypeOf(expr)
+	if et == nil || types.IsInterface(et) {
+		return
+	}
+	if tv, ok := w.a.info.Types[expr]; ok && tv.IsNil() {
+		return
+	}
+	if pointerShaped(et) {
+		return
+	}
+	w.found(expr.Pos(), "interface conversion boxes %s in //ziv:noalloc function", et.String())
+}
+
+// pointerShaped reports whether values of t are stored directly in an
+// interface word without boxing.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// captures reports whether the closure references variables declared in
+// the enclosing function (globals and its own locals don't force an
+// environment allocation).
+func (w *walker) captures(lit *ast.FuncLit) bool {
+	capt := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := w.a.info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if v.Pos() >= w.fd.Pos() && v.Pos() < lit.Pos() {
+			capt = true
+		}
+		return true
+	})
+	return capt
+}
+
+func calledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// fullName renders package functions as pkg.Name (matching the stdlib
+// table) and methods via types.Func.FullName.
+func fullName(fn *types.Func) string {
+	if fn.Pkg() != nil && fn.Type().(*types.Signature).Recv() == nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.FullName()
+}

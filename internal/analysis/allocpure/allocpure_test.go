@@ -1,0 +1,16 @@
+package allocpure
+
+import (
+	"testing"
+
+	"zivsim/internal/analysis/analysistest"
+)
+
+func TestAllocpure(t *testing.T) {
+	// apa must precede apb: apb consumes apa's exported allocation
+	// summaries, the same bottom-up order RunSuite guarantees.
+	analysistest.Run(t, "testdata", Analyzer,
+		"zivsim/internal/apa",
+		"zivsim/internal/apb",
+	)
+}

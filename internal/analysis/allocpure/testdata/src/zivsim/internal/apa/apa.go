@@ -1,0 +1,165 @@
+// Package apa covers allocpure's intra-package sites: literals,
+// builtins, closures, interface boxing, local call summaries and the
+// panic-path exemption.
+package apa
+
+import "fmt"
+
+// Sum is allocation-free: index loop, scalar accumulation.
+//
+//ziv:noalloc
+func Sum(xs []int) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+// BadMake reaches for make on the steady-state path.
+//
+//ziv:noalloc
+func BadMake(n int) []int {
+	return make([]int, n) // want `make allocates in //ziv:noalloc function`
+}
+
+// BadNew heap-allocates explicitly.
+//
+//ziv:noalloc
+func BadNew() *int {
+	return new(int) // want `new allocates in //ziv:noalloc function`
+}
+
+// BadMapLit builds a map literal.
+//
+//ziv:noalloc
+func BadMapLit() map[int]bool {
+	return map[int]bool{1: true} // want `map literal allocates in //ziv:noalloc function`
+}
+
+// BadSliceLit builds a slice literal.
+//
+//ziv:noalloc
+func BadSliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates in //ziv:noalloc function`
+}
+
+type node struct{ v int }
+
+// BadAddrLit takes the address of a composite literal.
+//
+//ziv:noalloc
+func BadAddrLit(v int) *node {
+	return &node{v: v} // want `composite literal escapes to the heap in //ziv:noalloc function`
+}
+
+// BadAppend may grow its argument.
+//
+//ziv:noalloc
+func BadAppend(xs []int, v int) []int {
+	return append(xs, v) // want `append may reallocate in //ziv:noalloc function`
+}
+
+// BadClosure returns a closure over a local.
+//
+//ziv:noalloc
+func BadClosure(start int) func() int {
+	n := start
+	return func() int { // want `escaping closure allocates in //ziv:noalloc function`
+		n++
+		return n
+	}
+}
+
+// OKClosures: immediately-invoked and locally-called-only closures stay
+// on the stack.
+//
+//ziv:noalloc
+func OKClosures(x int) int {
+	y := func() int { return x * 2 }()
+	double := func(v int) int { return v + v }
+	return double(y)
+}
+
+// OKClosureArg passes literals to a locally-called-only closure: the
+// callee never escapes, so its func-typed arguments stay on the stack
+// too (the victim-scan firstWhere pattern, flattened by the inliner).
+//
+//ziv:noalloc
+func OKClosureArg(xs []int, floor int) int {
+	firstWhere := func(pred func(v int) bool) int {
+		for i, v := range xs {
+			if pred(v) {
+				return i
+			}
+		}
+		return -1
+	}
+	if i := firstWhere(func(v int) bool { return v > floor }); i >= 0 {
+		return i
+	}
+	return firstWhere(func(v int) bool { return v == floor })
+}
+
+// BadRangeBody allocates inside a range body: the site must be reported
+// exactly once even though the cfg keeps the whole RangeStmt in the
+// header block alongside the body's own nodes.
+//
+//ziv:noalloc
+func BadRangeBody(xs []int) []*node {
+	var out []*node
+	for _, v := range xs {
+		out = append(out, &node{v: v}) // want `append may reallocate in //ziv:noalloc function` `composite literal escapes to the heap in //ziv:noalloc function`
+	}
+	return out
+}
+
+// BadBox boxes an integer into an interface.
+//
+//ziv:noalloc
+func BadBox(v int) any {
+	return v // want `interface conversion boxes int in //ziv:noalloc function`
+}
+
+// OKBox stores a pointer: pointer-shaped values need no boxing.
+//
+//ziv:noalloc
+func OKBox(v *node) any {
+	return v
+}
+
+// Guarded allocates only on the panic path: error construction on a
+// failing invariant is exempt.
+//
+//ziv:noalloc
+func Guarded(xs []int, i int) int {
+	if i >= len(xs) {
+		panic(fmt.Sprintf("index %d out of range %d", i, len(xs)))
+	}
+	return xs[i]
+}
+
+// Build is an exported helper with an allocation; its summary travels
+// to other packages as a fact.
+func Build(n int) []int {
+	return make([]int, n)
+}
+
+// scratch is unexported and allocates; local summaries catch it.
+func scratch() []int {
+	return make([]int, 8)
+}
+
+// BadCall allocates transitively through a local helper.
+//
+//ziv:noalloc
+func BadCall() []int {
+	return scratch() // want `call to scratch allocates in //ziv:noalloc function`
+}
+
+// Waived keeps a cold-path allocation with an explicit waiver.
+//
+//ziv:noalloc
+func Waived() []int {
+	return make([]int, 4) //ziv:ignore(allocpure) cold path, runs once at startup // want:suppressed `make allocates`
+}

@@ -1,0 +1,19 @@
+// Package apb is the consumer side of allocpure's fixtures: the
+// allocation summary of apa.Build arrives as an imported fact.
+package apb
+
+import "zivsim/internal/apa"
+
+// BadCrossCall allocates through another package's helper.
+//
+//ziv:noalloc
+func BadCrossCall() []int {
+	return apa.Build(16) // want `call to Build allocates in //ziv:noalloc function`
+}
+
+// OKCrossCall uses a summarized-clean function.
+//
+//ziv:noalloc
+func OKCrossCall(xs []int) int {
+	return apa.Sum(xs)
+}

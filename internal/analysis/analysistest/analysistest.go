@@ -10,6 +10,13 @@
 // compiler export data, so fixtures can exercise analyzers against the
 // genuine core.Block and directory.Directory types.
 //
+// Multi-package fixtures: Run loads the named fixture packages in
+// argument order under one shared framework.Facts store, and a fixture
+// may import an earlier fixture by its import path. List dependencies
+// before their importers — that mirrors the dependency-ordered sweep
+// RunSuite performs over real packages, so interprocedural fact flow
+// (detflow summaries, sidecarsync obligations) is testable end to end.
+//
 // Each expected diagnostic is declared on its offending line:
 //
 //	for k := range m { // want `map range`
@@ -17,8 +24,20 @@
 //	}
 //
 // The text between backquotes (or in a quoted string) is a regular
-// expression that must match the diagnostic's message. Every diagnostic
-// must be matched by a want comment and vice versa.
+// expression that must match the diagnostic's message; a single want
+// comment may carry several patterns when one line produces several
+// diagnostics. Every diagnostic must be matched by a want comment and
+// vice versa.
+//
+// Suppression interplay is asserted with the spelled form
+//
+//	x := bad() //ziv:ignore(NAME) reason // want:suppressed `regexp`
+//
+// A want:suppressed expectation must be matched by a diagnostic the
+// framework suppressed via a //ziv:ignore directive, and — strictly —
+// every suppressed diagnostic must be matched by a want:suppressed
+// comment, so fixtures document exactly which findings each directive
+// waives.
 package analysistest
 
 import (
@@ -36,7 +55,13 @@ import (
 	"zivsim/internal/analysis/framework"
 )
 
-var wantRe = regexp.MustCompile("//\\s*want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+var (
+	wantRe           = regexp.MustCompile(`//\s*want\s+(.+)`)
+	wantSuppressedRe = regexp.MustCompile(`//\s*want:suppressed\s+(.+)`)
+	// wantPatternRe extracts the individual backquoted or quoted regexps
+	// from a directive's tail; one line may expect several diagnostics.
+	wantPatternRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
 
 type expectation struct {
 	file    string
@@ -45,28 +70,34 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads each fixture package under testdata/src, applies the
-// analyzer, and reports mismatches between actual diagnostics and the
-// fixtures' want comments.
+// Run loads the fixture packages under testdata/src in argument order
+// (dependencies first), applies the analyzer to each under one shared
+// fact store, and reports mismatches between actual diagnostics and the
+// fixtures' want / want:suppressed comments.
 func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	facts := framework.NewFacts()
+	loaded := map[string]*framework.Package{}
 	for _, pkgPath := range pkgPaths {
-		pkg, err := loadFixture(testdata, pkgPath)
+		pkg, err := loadFixture(testdata, pkgPath, loaded)
 		if err != nil {
 			t.Errorf("loading fixture %s: %v", pkgPath, err)
 			continue
 		}
-		diags, err := framework.RunAnalyzer(a, pkg)
+		loaded[pkgPath] = pkg
+		res, err := framework.RunAnalyzer(a, pkg, facts)
 		if err != nil {
 			t.Errorf("running %s on %s: %v", a.Name, pkgPath, err)
 			continue
 		}
-		check(t, pkg, diags)
+		check(t, pkg, res)
 	}
 }
 
 // loadFixture parses and type-checks one GOPATH-style fixture package.
-func loadFixture(testdata, pkgPath string) (*framework.Package, error) {
+// Imports of previously loaded fixtures resolve to their live
+// *types.Package; everything else comes from `go list -export` data.
+func loadFixture(testdata, pkgPath string, loaded map[string]*framework.Package) (*framework.Package, error) {
 	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
 	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
 	if err != nil {
@@ -91,7 +122,7 @@ func loadFixture(testdata, pkgPath string) (*framework.Package, error) {
 			}
 		}
 	}
-	imp, err := fixtureImporter(fset, imports)
+	imp, err := fixtureImporter(fset, imports, loaded)
 	if err != nil {
 		return nil, err
 	}
@@ -110,54 +141,93 @@ func loadFixture(testdata, pkgPath string) (*framework.Package, error) {
 	}, nil
 }
 
-// fixtureImporter resolves the fixture's imports (stdlib and module
-// packages alike) from `go list -export` data. The go command runs with
-// the test's working directory, which lies inside the zivsim module, so
-// zivsim/... import paths resolve without any network access.
-func fixtureImporter(fset *token.FileSet, imports map[string]bool) (types.Importer, error) {
+// chainImporter consults earlier fixture packages before falling back to
+// export data, letting one fixture import another.
+type chainImporter struct {
+	fixtures map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.fixtures[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
+// fixtureImporter resolves the fixture's imports: prior fixtures from
+// their in-memory type information, and stdlib or module packages from
+// `go list -export` data. The go command runs with the test's working
+// directory, which lies inside the zivsim module, so zivsim/... import
+// paths resolve without any network access.
+func fixtureImporter(fset *token.FileSet, imports map[string]bool, loaded map[string]*framework.Package) (types.Importer, error) {
+	fixtures := map[string]*types.Package{}
 	var paths []string
 	for p := range imports {
+		if prior, ok := loaded[p]; ok {
+			fixtures[p] = prior.Types
+			continue
+		}
 		if p != "unsafe" {
 			paths = append(paths, p)
 		}
 	}
 	sort.Strings(paths)
-	return framework.ExportImporterFor(fset, paths)
+	fallback, err := framework.ExportImporterFor(fset, paths)
+	if err != nil {
+		return nil, err
+	}
+	return chainImporter{fixtures: fixtures, fallback: fallback}, nil
 }
 
-// check matches diagnostics against want expectations.
-func check(t *testing.T, pkg *framework.Package, diags []framework.Diagnostic) {
+// collectExpectations scans the fixture's comments for one flavor of want
+// directive.
+func collectExpectations(t *testing.T, pkg *framework.Package, re *regexp.Regexp) []*expectation {
 	t.Helper()
 	var expects []*expectation
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := wantRe.FindStringSubmatch(c.Text)
+				m := re.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
 				}
-				raw := m[1]
-				var pattern string
-				if raw[0] == '`' {
-					pattern = raw[1 : len(raw)-1]
-				} else {
-					var err error
-					pattern, err = strconv.Unquote(raw)
-					if err != nil {
-						t.Errorf("%s: bad want string %s", pkg.Fset.Position(c.Slash), raw)
-						continue
-					}
-				}
-				re, err := regexp.Compile(pattern)
-				if err != nil {
-					t.Errorf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Slash), pattern, err)
+				raws := wantPatternRe.FindAllString(m[1], -1)
+				if len(raws) == 0 {
+					t.Errorf("%s: want directive without a backquoted or quoted pattern", pkg.Fset.Position(c.Slash))
 					continue
 				}
-				pos := pkg.Fset.Position(c.Slash)
-				expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				for _, raw := range raws {
+					var pattern string
+					if raw[0] == '`' {
+						pattern = raw[1 : len(raw)-1]
+					} else {
+						var err error
+						pattern, err = strconv.Unquote(raw)
+						if err != nil {
+							t.Errorf("%s: bad want string %s", pkg.Fset.Position(c.Slash), raw)
+							continue
+						}
+					}
+					wre, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Slash), pattern, err)
+						continue
+					}
+					pos := pkg.Fset.Position(c.Slash)
+					expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, re: wre})
+				}
 			}
 		}
 	}
+	return expects
+}
+
+// matchDiags pairs diagnostics with expectations, reporting strays on
+// both sides. kind labels the error messages ("diagnostic" or
+// "suppressed diagnostic").
+func matchDiags(t *testing.T, kind string, diags []framework.Diagnostic, expects []*expectation) {
+	t.Helper()
 	for _, d := range diags {
 		found := false
 		for _, e := range expects {
@@ -168,12 +238,20 @@ func check(t *testing.T, pkg *framework.Package, diags []framework.Diagnostic) {
 			}
 		}
 		if !found {
-			t.Errorf("unexpected diagnostic: %s", d)
+			t.Errorf("unexpected %s: %s", kind, d)
 		}
 	}
 	for _, e := range expects {
 		if !e.matched {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+			t.Errorf("%s:%d: expected %s matching %q, got none", e.file, e.line, kind, e.re)
 		}
 	}
+}
+
+// check matches reported diagnostics against // want comments and
+// suppressed diagnostics against // want:suppressed comments.
+func check(t *testing.T, pkg *framework.Package, res framework.Result) {
+	t.Helper()
+	matchDiags(t, "diagnostic", res.Diags, collectExpectations(t, pkg, wantRe))
+	matchDiags(t, "suppressed diagnostic", res.Suppressed, collectExpectations(t, pkg, wantSuppressedRe))
 }

@@ -1,0 +1,129 @@
+package dataflow
+
+import (
+	"go/types"
+)
+
+// Mask is a set of taint origins carried by a value. Bits 0..55 mark
+// "derived from parameter i" (used while summarizing a function
+// bottom-up); the top bits mark concrete nondeterminism sources.
+type Mask uint64
+
+const (
+	// Order taints values whose content depends on map iteration order
+	// (or any other unordered traversal). Sorting kills it.
+	Order Mask = 1 << 62
+	// Value taints values derived from a nondeterministic quantity: the
+	// wall clock, pointer identity, or unseeded randomness.
+	Value Mask = 1 << 63
+
+	// maxParams bounds the parameter bits; parameters beyond this are
+	// conservatively ignored by summaries.
+	maxParams = 56
+)
+
+// ParamBit returns the mask bit for parameter index i (receiver = 0 for
+// methods), or 0 if i is out of summary range.
+func ParamBit(i int) Mask {
+	if i < 0 || i >= maxParams {
+		return 0
+	}
+	return Mask(1) << uint(i)
+}
+
+// Params returns only the parameter-derived bits of m.
+func (m Mask) Params() Mask { return m &^ (Order | Value) }
+
+// Sources returns only the concrete source bits of m.
+func (m Mask) Sources() Mask { return m & (Order | Value) }
+
+// String names the mask's source bits for diagnostics.
+func (m Mask) String() string {
+	switch {
+	case m&Order != 0 && m&Value != 0:
+		return "order- and value-nondeterministic"
+	case m&Order != 0:
+		return "map-order-dependent"
+	case m&Value != 0:
+		return "value-nondeterministic"
+	default:
+		return "untainted"
+	}
+}
+
+// Taint maps local variables to their taint masks. It is the fact type
+// of detflow's intraprocedural pass.
+type Taint map[*types.Var]Mask
+
+// TaintLattice is the join-semilattice over Taint facts.
+type TaintLattice struct{}
+
+// Bottom returns the empty taint environment.
+func (TaintLattice) Bottom() Taint { return nil }
+
+// Join unions two environments, or-ing masks of shared variables.
+func (TaintLattice) Join(a, b Taint) Taint {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(Taint, len(a)+len(b))
+	for v, m := range a {
+		out[v] = m
+	}
+	for v, m := range b {
+		out[v] |= m
+	}
+	return out
+}
+
+// Equal reports environment equality (same variables, same masks;
+// zero-mask entries count as absent).
+func (TaintLattice) Equal(a, b Taint) bool {
+	for v, m := range a {
+		if m != 0 && b[v] != m {
+			return false
+		}
+	}
+	for v, m := range b {
+		if m != 0 && a[v] != m {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone copies a taint environment for in-place transfer functions.
+func (t Taint) Clone() Taint {
+	if t == nil {
+		return nil
+	}
+	out := make(Taint, len(t))
+	for v, m := range t {
+		out[v] = m
+	}
+	return out
+}
+
+// FnSummary records how taint moves through one function, computed
+// bottom-up over the call graph and exported as a framework fact keyed
+// by the function's types.Func.FullName(). Param bits in Return mean
+// "the result carries whatever taint that argument carried"; source
+// bits mean the function introduces that taint itself. Sink, when
+// non-zero, means the function forwards its arguments into a
+// determinism sink (stats, table output, victim choice, cache hash),
+// so tainted arguments should be reported at the call site.
+type FnSummary struct {
+	// Return is the taint of the function's results, as a function of
+	// its own sources (Order/Value bits) and its parameters (param
+	// bits).
+	Return Mask
+	// Sink has param bit i set when argument i flows into a
+	// determinism-sensitive sink inside the callee.
+	Sink Mask
+	// SinkWhat describes the sink for diagnostics (e.g. "Stats field",
+	// "table output", "victim selection", "cache key").
+	SinkWhat string
+}

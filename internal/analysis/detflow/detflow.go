@@ -1,0 +1,645 @@
+// Package detflow is an interprocedural taint analysis for determinism:
+// it tracks values whose content depends on a nondeterministic source and
+// reports when one reaches a determinism-sensitive sink.
+//
+// Sources:
+//   - ranging over a map taints the key and value variables with Order
+//     (iteration order is randomized per run);
+//   - time.Now / time.Since and the global math/rand functions taint
+//     their results with Value;
+//   - comparing two pointers for identity (p == q with no nil operand)
+//     taints the result with Value — addresses differ across runs.
+//
+// Sinks:
+//   - writes to a field of a *Stats struct (any named type whose name
+//     ends in "Stats");
+//   - formatted output (fmt.Print*/Fprint*) — table and golden report
+//     paths must be byte-stable;
+//   - cryptographic digests (sha256.Sum256, hash.Write) — the .zivcache
+//     result key must be a pure function of the configuration;
+//   - values returned from victim-selection methods (function name
+//     contains "Victim") — replacement decisions must replay exactly.
+//
+// Kills: sorting a slice (sort.Slice, sort.Strings, slices.Sort, ...)
+// clears its Order taint — the collect-then-sort idiom is the sanctioned
+// way to iterate a map deterministically. Accumulating into an integer
+// with += or |= also drops Order: integer addition and bitwise-or are
+// commutative and associative, so the traversal order cannot show in the
+// sum. Float and string accumulation keeps the taint (float addition is
+// not associative; string concatenation is not commutative).
+//
+// The analysis is interprocedural: every function is summarized
+// bottom-up (parameters are tracked as symbolic taint bits), summaries
+// are exported as framework facts per package, and packages are analyzed
+// in dependency order, so taint introduced in internal/policy is caught
+// when it reaches a Stats write in internal/core or a table in the
+// harness. Within a package, functions are summarized in file order;
+// calls to not-yet-summarized functions (including recursion) fall back
+// to the conservative default: all argument taint flows to the result.
+package detflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"zivsim/internal/analysis/cfg"
+	"zivsim/internal/analysis/dataflow"
+	"zivsim/internal/analysis/framework"
+)
+
+// Analyzer is the detflow analysis.
+var Analyzer = &framework.Analyzer{
+	Name: "detflow",
+	Doc:  "taint analysis: nondeterministic values must not reach stats, output, victim choice or cache keys",
+	Run:  run,
+}
+
+// summariesKey is the fact key under which each package's function
+// summaries are published.
+const summariesKey = "summaries"
+
+// sortKills maps sorting functions (by full name) to the argument index
+// they order. Calling one clears the Order bit of that argument.
+var sortKills = map[string]int{
+	"sort.Slice":            0,
+	"sort.SliceStable":      0,
+	"sort.Sort":             0,
+	"sort.Stable":           0,
+	"sort.Strings":          0,
+	"sort.Ints":             0,
+	"sort.Float64s":         0,
+	"slices.Sort":           0,
+	"slices.SortFunc":       0,
+	"slices.SortStableFunc": 0,
+}
+
+// outputSinks are fmt functions that emit text; Sprintf-style functions
+// instead propagate taint to their result.
+var outputSinks = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+}
+
+// digestSinks feed the persistent-result cache key.
+var digestSinks = map[string]bool{
+	"crypto/sha256.Sum256": true,
+	"crypto/sha1.Sum":      true,
+	"crypto/md5.Sum":       true,
+}
+
+type analyzer struct {
+	pass *framework.Pass
+	info *types.Info
+	// local maps FullName -> summary for functions of this package that
+	// are already summarized.
+	local map[string]dataflow.FnSummary
+
+	// Per-function state.
+	params map[*types.Var]int // param object -> index (receiver = 0)
+	cur    dataflow.FnSummary
+	curFn  *types.Func
+	// reported dedups sink reports within one function walk.
+	reported map[token.Pos]bool
+}
+
+func run(pass *framework.Pass) (any, error) {
+	a := &analyzer{
+		pass:  pass,
+		info:  pass.TypesInfo,
+		local: map[string]dataflow.FnSummary{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.analyzeFunc(fd)
+		}
+	}
+	pass.ExportFact(summariesKey, a.local)
+	return nil, nil
+}
+
+// analyzeFunc solves the taint fixpoint for one function, then replays
+// the facts over every block once to report sink violations and build
+// the function's summary.
+func (a *analyzer) analyzeFunc(fd *ast.FuncDecl) {
+	fn, _ := a.info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	a.curFn = fn
+	a.cur = dataflow.FnSummary{}
+	a.params = map[*types.Var]int{}
+	a.reported = map[token.Pos]bool{}
+
+	entry := dataflow.Taint{}
+	idx := 0
+	addParam := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := a.info.Defs[name].(*types.Var); ok {
+					a.params[v] = idx
+					entry[v] = dataflow.ParamBit(idx)
+					idx++
+				}
+			}
+			if len(f.Names) == 0 {
+				idx++ // unnamed parameter still occupies an index
+			}
+		}
+	}
+	addParam(fd.Recv)
+	addParam(fd.Type.Params)
+
+	g := cfg.New(fd.Body)
+	ins := dataflow.Forward[dataflow.Taint](g, dataflow.TaintLattice{}, entry,
+		func(b *cfg.Block, in dataflow.Taint) dataflow.Taint {
+			return a.interpBlock(b, in, false)
+		})
+	for _, b := range g.Blocks {
+		a.interpBlock(b, ins[b.Index], true)
+	}
+	a.local[fn.FullName()] = a.cur
+}
+
+// interpBlock applies every node of b to env. With report set it also
+// emits sink diagnostics and accumulates the current function's summary;
+// the fixpoint solver calls it with report off, so the transfer stays
+// pure.
+func (a *analyzer) interpBlock(b *cfg.Block, in dataflow.Taint, report bool) dataflow.Taint {
+	env := in.Clone()
+	if env == nil {
+		env = dataflow.Taint{}
+	}
+	for _, n := range b.Nodes {
+		env = a.interpNode(n, env, report)
+	}
+	return env
+}
+
+func (a *analyzer) interpNode(n ast.Node, env dataflow.Taint, report bool) dataflow.Taint {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		a.assign(n, env, report)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var m dataflow.Mask
+					if i < len(vs.Values) {
+						m = a.exprTaint(vs.Values[i], env, report)
+					} else if len(vs.Values) == 1 {
+						m = a.exprTaint(vs.Values[0], env, report)
+					}
+					a.setVar(env, name, m)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		m := a.exprTaint(n.X, env, report)
+		if isMapType(a.info, n.X) {
+			m |= dataflow.Order
+		}
+		if id, ok := n.Key.(*ast.Ident); ok {
+			a.setVar(env, id, m)
+		}
+		if id, ok := n.Value.(*ast.Ident); ok {
+			a.setVar(env, id, m)
+		}
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			m := a.exprTaint(res, env, report)
+			if report {
+				a.cur.Return |= m
+				if strings.Contains(a.curFn.Name(), "Victim") {
+					a.sink(res.Pos(), m, "victim selection", report)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		a.exprTaint(n.X, env, report)
+	case *ast.GoStmt:
+		a.exprTaint(n.Call, env, report)
+	case *ast.DeferStmt:
+		a.exprTaint(n.Call, env, report)
+	case *ast.SendStmt:
+		a.exprTaint(n.Value, env, report)
+	case *ast.IncDecStmt:
+		// x++ preserves x's taint.
+	case ast.Expr:
+		// Bare condition expressions (if/for/switch headers): evaluate
+		// for call side effects (kills, sinks).
+		a.exprTaint(n, env, report)
+	}
+	return env
+}
+
+// assign handles = and op= statements, including the commutative-
+// accumulation exemption.
+func (a *analyzer) assign(as *ast.AssignStmt, env dataflow.Taint, report bool) {
+	// Tuple assignment from one call: every lhs gets the call's taint.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		m := a.exprTaint(as.Rhs[0], env, report)
+		for _, lhs := range as.Lhs {
+			a.store(lhs, m, env, report)
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		m := a.exprTaint(as.Rhs[i], env, report)
+		switch as.Tok {
+		case token.ASSIGN, token.DEFINE:
+			a.store(lhs, m, env, report)
+		case token.ADD_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_ASSIGN:
+			if isIntegerExpr(a.info, lhs) {
+				// Commutative integer accumulation: traversal order cannot
+				// affect the final sum, so Order is dropped.
+				m &^= dataflow.Order
+			}
+			a.store(lhs, m|a.taintOf(lhs, env), env, report)
+		default: // -=, *=, /=, ...: plain propagation
+			a.store(lhs, m|a.taintOf(lhs, env), env, report)
+		}
+	}
+}
+
+// store writes taint m to an assignment target. Identifier targets
+// update the environment; Stats-field targets are determinism sinks.
+func (a *analyzer) store(lhs ast.Expr, m dataflow.Mask, env dataflow.Taint, report bool) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		a.setVar(env, lhs, m)
+	case *ast.SelectorExpr:
+		if report && isStatsField(a.info, lhs) {
+			a.sink(lhs.Pos(), m, "a Stats field", report)
+		}
+	}
+}
+
+// taintOf reads the current taint of an lvalue (for op= self-flow).
+func (a *analyzer) taintOf(e ast.Expr, env dataflow.Taint) dataflow.Mask {
+	if id, ok := e.(*ast.Ident); ok {
+		if v := a.varOf(id); v != nil {
+			return env[v]
+		}
+	}
+	return 0
+}
+
+func (a *analyzer) varOf(id *ast.Ident) *types.Var {
+	if v, ok := a.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := a.info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func (a *analyzer) setVar(env dataflow.Taint, id *ast.Ident, m dataflow.Mask) {
+	v := a.varOf(id)
+	if v == nil {
+		return
+	}
+	if m == 0 {
+		delete(env, v)
+		return
+	}
+	env[v] = m
+}
+
+// exprTaint computes the taint of an expression and applies call side
+// effects (sort kills, sink reports when report is set).
+func (a *analyzer) exprTaint(e ast.Expr, env dataflow.Taint, report bool) dataflow.Mask {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v := a.varOf(e); v != nil {
+			return env[v]
+		}
+	case *ast.BasicLit, *ast.FuncLit:
+		return 0
+	case *ast.ParenExpr:
+		return a.exprTaint(e.X, env, report)
+	case *ast.UnaryExpr:
+		return a.exprTaint(e.X, env, report)
+	case *ast.StarExpr:
+		return a.exprTaint(e.X, env, report)
+	case *ast.SelectorExpr:
+		// Field read or method value: taint of the base. Package
+		// selectors have no base var and yield 0.
+		return a.exprTaint(e.X, env, report)
+	case *ast.IndexExpr:
+		return a.exprTaint(e.X, env, report) | a.exprTaint(e.Index, env, report)
+	case *ast.SliceExpr:
+		return a.exprTaint(e.X, env, report)
+	case *ast.TypeAssertExpr:
+		return a.exprTaint(e.X, env, report)
+	case *ast.CompositeLit:
+		var m dataflow.Mask
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				m |= a.exprTaint(kv.Value, env, report)
+			} else {
+				m |= a.exprTaint(el, env, report)
+			}
+		}
+		return m
+	case *ast.BinaryExpr:
+		l := a.exprTaint(e.X, env, report)
+		r := a.exprTaint(e.Y, env, report)
+		if (e.Op == token.EQL || e.Op == token.NEQ) && isPointerIdentity(a.info, e) {
+			return l | r | dataflow.Value
+		}
+		return l | r
+	case *ast.CallExpr:
+		return a.callTaint(e, env, report)
+	}
+	return 0
+}
+
+// callTaint resolves a call's taint behavior: builtin propagation,
+// source functions, sort kills, output/digest sinks, summarized callees,
+// or the conservative default.
+func (a *analyzer) callTaint(call *ast.CallExpr, env dataflow.Taint, report bool) dataflow.Mask {
+	// Effective arguments include the receiver of a method call, so
+	// taint like t.UnixNano() propagates from t through unknown callees.
+	effArgs := callArgs(a.info, call)
+	allArgs := func() dataflow.Mask {
+		var m dataflow.Mask
+		for _, arg := range effArgs {
+			m |= a.exprTaint(arg, env, false)
+		}
+		return m
+	}
+	// Evaluate arguments once with reporting enabled so nested calls
+	// (sinks inside arguments) are handled exactly once.
+	if report {
+		for _, arg := range effArgs {
+			a.exprTaint(arg, env, true)
+		}
+	}
+
+	fn := calledFunc(a.info, call)
+	if fn == nil {
+		// Builtin, conversion, or dynamic call: propagate arguments.
+		return allArgs()
+	}
+	full := fullName(fn)
+
+	switch {
+	case full == "time.Now" || full == "time.Since":
+		return dataflow.Value
+	case fn.Pkg() != nil && (fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2") && fn.Type().(*types.Signature).Recv() == nil:
+		return dataflow.Value
+	}
+
+	if idx, ok := sortKills[full]; ok {
+		a.killOrder(call, idx, env)
+		return 0
+	}
+	if outputSinks[full] {
+		// Fprint* aimed at os.Stderr is progress/error reporting, not
+		// simulation output: golden tables and CSVs never read stderr.
+		if !isStderr(a.info, call) {
+			for _, arg := range call.Args {
+				m := a.exprTaint(arg, env, false)
+				a.sink(arg.Pos(), m, "formatted output", report)
+			}
+		}
+		return 0
+	}
+	if digestSinks[full] {
+		m := allArgs()
+		a.sink(call.Pos(), m, "a result-cache digest", report)
+		return 0
+	}
+	if isHashWrite(fn) {
+		m := allArgs()
+		a.sink(call.Pos(), m, "a result-cache digest", report)
+		return 0
+	}
+
+	if sum, ok := a.lookupSummary(fn); ok {
+		args := effArgs
+		var ret dataflow.Mask = sum.Return.Sources()
+		for i := 0; i < len(args); i++ {
+			bit := dataflow.ParamBit(i)
+			t := a.exprTaint(args[i], env, false)
+			if sum.Return&bit != 0 {
+				ret |= t
+			}
+			if sum.Sink&bit != 0 {
+				what := sum.SinkWhat
+				if what == "" {
+					what = "a determinism sink in " + fn.Name()
+				}
+				a.sink(args[i].Pos(), t, what, report)
+			}
+		}
+		return ret
+	}
+	// Unknown callee: arguments flow to the result.
+	return allArgs()
+}
+
+// sink handles a tainted value reaching a sink: concrete source taint is
+// reported, parameter taint is recorded in the current function's
+// summary so the violation is reported at the call site that supplies
+// the tainted argument.
+func (a *analyzer) sink(pos token.Pos, m dataflow.Mask, what string, report bool) {
+	if !report {
+		return
+	}
+	if src := m.Sources(); src != 0 && !a.reported[pos] {
+		a.reported[pos] = true
+		a.pass.Reportf(pos, "%s value flows into %s; determinism requires a stable source", src, what)
+	}
+	if p := m.Params(); p != 0 {
+		a.cur.Sink |= p
+		if a.cur.SinkWhat == "" {
+			a.cur.SinkWhat = what
+		}
+	}
+}
+
+// killOrder clears the Order bit of the variable sorted by a sort call.
+func (a *analyzer) killOrder(call *ast.CallExpr, argIdx int, env dataflow.Taint) {
+	if argIdx >= len(call.Args) {
+		return
+	}
+	arg := call.Args[argIdx]
+	if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		arg = u.X
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if v := a.varOf(id); v != nil {
+		env[v] &^= dataflow.Order
+		if env[v] == 0 {
+			delete(env, v)
+		}
+	}
+}
+
+// lookupSummary finds a callee's summary: same-package functions from
+// the in-progress map, imported packages from the shared fact store.
+func (a *analyzer) lookupSummary(fn *types.Func) (dataflow.FnSummary, bool) {
+	if fn.Pkg() == nil {
+		return dataflow.FnSummary{}, false
+	}
+	full := fn.FullName()
+	if fn.Pkg().Path() == a.pass.PkgPath {
+		sum, ok := a.local[full]
+		return sum, ok
+	}
+	v, ok := a.pass.ImportFact(fn.Pkg().Path(), summariesKey)
+	if !ok {
+		return dataflow.FnSummary{}, false
+	}
+	sums, ok := v.(map[string]dataflow.FnSummary)
+	if !ok {
+		return dataflow.FnSummary{}, false
+	}
+	sum, ok := sums[full]
+	return sum, ok
+}
+
+// callArgs returns the call's effective argument list with the receiver
+// prepended for method calls, matching summary parameter indexing.
+func callArgs(info *types.Info, call *ast.CallExpr) []ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			return append([]ast.Expr{sel.X}, call.Args...)
+		}
+	}
+	return call.Args
+}
+
+// calledFunc resolves the *types.Func a call targets, or nil for
+// builtins, conversions and dynamic calls.
+func calledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// fullName is a stable spelling for matching stdlib functions:
+// "pkgpath.Name" for package functions, FullName for methods.
+func fullName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return fn.FullName()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// isHashWrite matches the Write method of a crypto hash.
+// isStderr reports whether a Fprint-family call writes to os.Stderr.
+func isStderr(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Stderr" {
+		return false
+	}
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil {
+		return v.Pkg().Path() == "os"
+	}
+	return false
+}
+
+func isHashWrite(fn *types.Func) bool {
+	if fn.Name() != "Write" || fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return strings.HasPrefix(p, "crypto/") || p == "hash" || strings.HasPrefix(p, "hash/")
+}
+
+func isMapType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func isIntegerExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// isPointerIdentity reports whether a ==/!= compares two pointers with
+// no nil operand — the address-dependent comparison detflow taints.
+func isPointerIdentity(info *types.Info, e *ast.BinaryExpr) bool {
+	isPtr := func(x ast.Expr) bool {
+		tv, ok := info.Types[x]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		if tv.IsNil() {
+			return false
+		}
+		_, ok = tv.Type.Underlying().(*types.Pointer)
+		return ok
+	}
+	return isPtr(e.X) && isPtr(e.Y)
+}
+
+// isStatsField matches writes to fields of any named struct type whose
+// name ends in "Stats".
+func isStatsField(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if p, ok := t.(*types.Pointer); ok {
+			named, ok = p.Elem().(*types.Named)
+			if !ok {
+				return false
+			}
+		} else {
+			return false
+		}
+	}
+	return strings.HasSuffix(named.Obj().Name(), "Stats")
+}

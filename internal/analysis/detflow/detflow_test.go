@@ -1,0 +1,17 @@
+package detflow
+
+import (
+	"testing"
+
+	"zivsim/internal/analysis/analysistest"
+)
+
+func TestDetflow(t *testing.T) {
+	// dfa must precede dfb: dfb consumes dfa's exported summaries, the
+	// same bottom-up order RunSuite guarantees for real packages.
+	analysistest.Run(t, "testdata", Analyzer,
+		"zivsim/internal/dfa",
+		"zivsim/internal/dfb",
+		"zivsim/internal/dfc",
+	)
+}

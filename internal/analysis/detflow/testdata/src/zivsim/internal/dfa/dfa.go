@@ -1,0 +1,55 @@
+// Package dfa is the provider side of detflow's interprocedural
+// fixtures: its summaries (tainted returns, sink parameters) are
+// exported as facts that the dfb fixture consumes.
+package dfa
+
+import "sort"
+
+// Stats matches detflow's stats-sink naming convention.
+type Stats struct {
+	Sum   float64
+	Count int
+}
+
+// SortedKeys collects then sorts: the sort kills the Order taint, so
+// the summary's return is order-clean.
+func SortedKeys(m map[uint64]int) []uint64 {
+	ks := make([]uint64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// UnsortedKeys leaks iteration order through its return value; callers
+// that print or persist the result inherit the Order taint.
+func UnsortedKeys(m map[uint64]int) []uint64 {
+	ks := make([]uint64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Record is a sink function: its second parameter flows into a Stats
+// field, so tainted arguments at any call site are violations.
+func Record(st *Stats, v float64) {
+	st.Sum += v
+}
+
+// Tally accumulates into an integer with +=: commutative, so iterating
+// the map is harmless and no diagnostic fires.
+func Tally(m map[uint64]int, st *Stats) {
+	for _, v := range m {
+		st.Count += v
+	}
+}
+
+// FloatTally accumulates into a float: addition is not associative, so
+// iteration order shows in the rounding and the Stats write is flagged.
+func FloatTally(m map[uint64]float64, st *Stats) {
+	for _, v := range m {
+		st.Sum += v // want `map-order-dependent value flows into a Stats field`
+	}
+}

@@ -1,0 +1,41 @@
+// Package dfb is the consumer side of detflow's interprocedural
+// fixtures: it imports dfa and must see taint and sink obligations from
+// dfa's exported summaries.
+package dfb
+
+import (
+	"fmt"
+
+	"zivsim/internal/dfa"
+)
+
+// PrintSorted consumes a sorted key slice: dfa.SortedKeys' summary says
+// the Order taint was killed, so printing is clean.
+func PrintSorted(m map[uint64]int) {
+	for _, k := range dfa.SortedKeys(m) {
+		fmt.Println(k)
+	}
+}
+
+// PrintUnsorted consumes a key slice that inherited map order across
+// the package boundary.
+func PrintUnsorted(m map[uint64]int) {
+	ks := dfa.UnsortedKeys(m)
+	fmt.Println(ks) // want `map-order-dependent value flows into formatted output`
+}
+
+// TallyThrough feeds map-ordered floats into dfa.Record, whose summary
+// marks its second parameter as a Stats sink.
+func TallyThrough(m map[uint64]float64, st *dfa.Stats) {
+	for _, v := range m {
+		dfa.Record(st, v) // want `map-order-dependent value flows into a Stats field`
+	}
+}
+
+// WaivedDump is a debugging helper: the finding is real but waived with
+// an explicit directive.
+func WaivedDump(m map[uint64]int) {
+	for k := range m {
+		fmt.Println(k) //ziv:ignore(detflow) debug dump, order is cosmetic // want:suppressed `map-order-dependent`
+	}
+}

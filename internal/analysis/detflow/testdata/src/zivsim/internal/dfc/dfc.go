@@ -1,0 +1,86 @@
+// Package dfc covers detflow's intra-package sources and sinks: the
+// wall clock, pointer identity, victim selection and digest keys.
+package dfc
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stats matches the stats-sink naming convention.
+type Stats struct {
+	Wall float64
+}
+
+// BadClockStat writes wall-clock time into a Stats field.
+func BadClockStat(st *Stats) {
+	st.Wall = float64(time.Now().UnixNano()) // want `value-nondeterministic value flows into a Stats field`
+}
+
+// BadPtrPrint prints a pointer-identity comparison; addresses change
+// across runs.
+func BadPtrPrint(a, b *Stats) {
+	fmt.Println(a == b) // want `value-nondeterministic value flows into formatted output`
+}
+
+// NilCheckPrint compares against nil — identity with nil is stable, so
+// no diagnostic fires.
+func NilCheckPrint(a *Stats) {
+	fmt.Println(a == nil)
+}
+
+// StderrNote reports progress to stderr: diagnostics never reach golden
+// output or result tables, so map order there is exempt.
+func StderrNote(m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(os.Stderr, k)
+	}
+}
+
+// Policy selects victims.
+type Policy struct{ hot map[int]bool }
+
+// Victim returns the first hot way in map order: replacement decisions
+// would differ run to run.
+func (p *Policy) Victim() int {
+	for w := range p.hot {
+		return w // want `map-order-dependent value flows into victim selection`
+	}
+	return 0
+}
+
+// VictimStable drains the map through a sort first.
+func (p *Policy) VictimStable() int {
+	ws := make([]int, 0, len(p.hot))
+	for w := range p.hot {
+		ws = append(ws, w)
+	}
+	sort.Ints(ws)
+	if len(ws) > 0 {
+		return ws[0]
+	}
+	return 0
+}
+
+// BadCacheKey hashes map-ordered content into a digest.
+func BadCacheKey(m map[string]int) [32]byte {
+	var parts []string
+	for k := range m {
+		parts = append(parts, k)
+	}
+	return sha256.Sum256([]byte(strings.Join(parts, ","))) // want `map-order-dependent value flows into a result-cache digest`
+}
+
+// GoodCacheKey sorts before hashing.
+func GoodCacheKey(m map[string]int) [32]byte {
+	var parts []string
+	for k := range m {
+		parts = append(parts, k)
+	}
+	sort.Strings(parts)
+	return sha256.Sum256([]byte(strings.Join(parts, ",")))
+}

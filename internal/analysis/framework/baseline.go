@@ -1,0 +1,134 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is the committed set of accepted findings used for
+// diff-gating: a finding present in the baseline does not fail the
+// build, so only *new* findings gate CI. Entries match on (analyzer,
+// repo-relative file, message) with a count — deliberately not on line
+// numbers, which shift with every unrelated edit.
+type Baseline struct {
+	// Version guards the file format.
+	Version int `json:"version"`
+	// Findings is sorted by (analyzer, file, message).
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one accepted finding class.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// baselineVersion is the current file-format version.
+const baselineVersion = 1
+
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// RelFile normalizes a diagnostic filename to a slash-separated path
+// relative to root (repo-relative paths keep the baseline and SARIF
+// output machine-independent).
+func RelFile(root, file string) string {
+	if root == "" {
+		return filepath.ToSlash(file)
+	}
+	abs, err := filepath.Abs(file)
+	if err != nil {
+		return filepath.ToSlash(file)
+	}
+	rootAbs, err := filepath.Abs(root)
+	if err != nil {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(rootAbs, abs)
+	if err != nil {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// NewBaseline builds a baseline from a diagnostic set, with file paths
+// made relative to root.
+func NewBaseline(root string, diags []Diagnostic) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, d := range diags {
+		counts[baselineKey{d.Analyzer, RelFile(root, d.Pos.Filename), d.Message}]++
+	}
+	b := &Baseline{Version: baselineVersion, Findings: []BaselineEntry{}}
+	for k, n := range counts {
+		b.Findings = append(b.Findings, BaselineEntry{
+			Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// LoadBaseline reads a baseline file. A missing file yields an empty
+// baseline (gating against nothing) with no error.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: baselineVersion}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline %s: version %d, want %d (regenerate with -write-baseline)", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// Write saves the baseline to path with a trailing newline, suitable for
+// committing.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits diags into the findings covered by the baseline and the
+// new (unbaselined) ones. Counting is per (analyzer, file, message): a
+// baseline entry with Count 2 absorbs at most two matching findings.
+func (b *Baseline) Filter(root string, diags []Diagnostic) (baselined, fresh []Diagnostic) {
+	budget := map[baselineKey]int{}
+	for _, e := range b.Findings {
+		budget[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, RelFile(root, d.Pos.Filename), d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			baselined = append(baselined, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	return baselined, fresh
+}

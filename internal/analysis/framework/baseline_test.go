@@ -1,0 +1,89 @@
+package framework
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func diag(analyzer, file string, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Message:  msg,
+		Analyzer: analyzer,
+	}
+}
+
+func TestBaselineFilterMatchesWithoutLines(t *testing.T) {
+	old := []Diagnostic{
+		diag("detflow", "a/x.go", 10, "tainted flow"),
+		diag("detflow", "a/x.go", 20, "tainted flow"),
+		diag("allocpure", "b/y.go", 5, "heap alloc"),
+	}
+	b := NewBaseline("", old)
+
+	// Same findings at shifted line numbers must still be baselined.
+	now := []Diagnostic{
+		diag("detflow", "a/x.go", 14, "tainted flow"),
+		diag("detflow", "a/x.go", 29, "tainted flow"),
+		diag("allocpure", "b/y.go", 99, "heap alloc"),
+	}
+	baselined, fresh := b.Filter("", now)
+	if len(baselined) != 3 || len(fresh) != 0 {
+		t.Fatalf("baselined=%d fresh=%v, want 3 baselined and none fresh", len(baselined), fresh)
+	}
+}
+
+func TestBaselineFilterCountBudget(t *testing.T) {
+	b := NewBaseline("", []Diagnostic{diag("detflow", "a/x.go", 1, "tainted flow")})
+	now := []Diagnostic{
+		diag("detflow", "a/x.go", 1, "tainted flow"),
+		diag("detflow", "a/x.go", 2, "tainted flow"), // second instance: new
+		diag("detflow", "a/x.go", 3, "other message"),
+	}
+	baselined, fresh := b.Filter("", now)
+	if len(baselined) != 1 || len(fresh) != 2 {
+		t.Fatalf("baselined=%v fresh=%v, want 1 and 2", baselined, fresh)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+
+	b := NewBaseline("", []Diagnostic{
+		diag("sidecarsync", "z.go", 3, "mirror not updated"),
+		diag("sidecarsync", "z.go", 7, "mirror not updated"),
+	})
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Findings) != 1 || got.Findings[0].Count != 2 {
+		t.Fatalf("round-tripped baseline = %+v, want one entry with count 2", got.Findings)
+	}
+}
+
+func TestLoadBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 0 {
+		t.Fatalf("missing baseline yielded findings: %v", b.Findings)
+	}
+}
+
+func TestBaselineRelativizesPaths(t *testing.T) {
+	abs, err := filepath.Abs("sub/file.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBaseline(".", []Diagnostic{diag("detflow", abs, 1, "m")})
+	if b.Findings[0].File != "sub/file.go" {
+		t.Fatalf("File = %q, want repo-relative sub/file.go", b.Findings[0].File)
+	}
+}

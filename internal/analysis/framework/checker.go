@@ -1,61 +1,85 @@
 package framework
 
 import (
-	"flag"
 	"fmt"
 	"os"
 )
 
-// Main is the multichecker driver: it loads the packages named by the
-// command-line patterns (default ./...), applies every analyzer to every
-// package, prints the diagnostics sorted by position, and exits non-zero
-// when any analyzer fires.
+// SuiteResult aggregates one full run of a set of analyzers over a set
+// of packages.
+type SuiteResult struct {
+	// Diags holds every reported finding, sorted by position.
+	Diags []Diagnostic
+	// Suppressed holds every //ziv:ignore-waived finding, sorted by
+	// position.
+	Suppressed []Diagnostic
+	// Packages is the number of packages analyzed.
+	Packages int
+}
+
+// RunSuite loads the packages matching patterns (relative to dir) and
+// applies every analyzer to every package. Packages are visited in
+// dependency order sharing one Facts store, so interprocedural analyzers
+// (detflow, sidecarsync, allocpure) see the summaries of every imported
+// package before analyzing its importers.
+func RunSuite(dir string, patterns []string, analyzers []*Analyzer) (SuiteResult, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return SuiteResult{}, err
+	}
+	facts := NewFacts()
+	var out SuiteResult
+	out.Packages = len(pkgs)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			res, err := RunAnalyzer(a, pkg, facts)
+			if err != nil {
+				return SuiteResult{}, err
+			}
+			out.Diags = append(out.Diags, res.Diags...)
+			out.Suppressed = append(out.Suppressed, res.Suppressed...)
+		}
+	}
+	sortDiagnostics(out.Diags)
+	sortDiagnostics(out.Suppressed)
+	return out, nil
+}
+
+// Main is a minimal multichecker driver retained for ad-hoc analyzer
+// binaries: it loads the packages named by the command-line patterns
+// (default ./...), applies every analyzer, prints the diagnostics sorted
+// by position, and exits non-zero when any analyzer fires. The zivlint
+// CLI (cmd/zivlint) supersedes it with output formats and baseline
+// diff-gating.
 //
 // Exit codes: 0 clean, 1 diagnostics reported, 2 usage or load failure.
 func Main(analyzers ...*Analyzer) {
-	flag.Usage = func() {
+	patterns := os.Args[1:]
+	if len(patterns) > 0 && patterns[0] == "help" {
 		fmt.Fprintf(os.Stderr, "usage: %s [packages]\n\nAnalyzers:\n", os.Args[0])
 		for _, a := range analyzers {
-			fmt.Fprintf(os.Stderr, "  %-20s %s\n", a.Name, firstLine(a.Doc))
+			fmt.Fprintf(os.Stderr, "  %-20s %s\n", a.Name, FirstLine(a.Doc))
 		}
-	}
-	flag.Parse()
-	patterns := flag.Args()
-	if len(patterns) > 0 && patterns[0] == "help" {
-		flag.Usage()
 		os.Exit(0)
 	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-
-	pkgs, err := Load(".", patterns...)
+	res, err := RunSuite(".", patterns, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	var all []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			diags, err := RunAnalyzer(a, pkg)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
-			}
-			all = append(all, diags...)
-		}
-	}
-	sortDiagnostics(all)
-	for _, d := range all {
+	for _, d := range res.Diags {
 		fmt.Println(d)
 	}
-	if len(all) > 0 {
+	if len(res.Diags) > 0 {
 		os.Exit(1)
 	}
 }
 
-func firstLine(s string) string {
+// FirstLine returns the first line of s (analyzer doc summaries).
+func FirstLine(s string) string {
 	for i := 0; i < len(s); i++ {
 		if s[i] == '\n' {
 			return s[:i]

@@ -1,6 +1,7 @@
 package framework
 
 import (
+	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
@@ -55,10 +56,11 @@ var waivedSameLine = 3 //zivlint:ignore varcheck same-line waiver
 //zivlint:ignore otherchck wrong analyzer name
 var stillFlagged = 4
 `)
-	diags, err := RunAnalyzer(varReporter, pkg)
+	res, err := RunAnalyzer(varReporter, pkg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	diags := res.Diags
 	if len(diags) != 2 {
 		t.Fatalf("got %d diagnostics %v, want 2 (waived lines suppressed)", len(diags), diags)
 	}
@@ -68,6 +70,81 @@ var stillFlagged = 4
 	if !strings.Contains(diags[0].String(), "(varcheck)") {
 		t.Errorf("diagnostic %q does not name its analyzer", diags[0])
 	}
+	if len(res.Suppressed) != 2 {
+		t.Fatalf("got %d suppressed %v, want 2", len(res.Suppressed), res.Suppressed)
+	}
+}
+
+func TestZivIgnoreDirective(t *testing.T) {
+	pkg := parsePkg(t, `package p
+
+//ziv:ignore(varcheck) intentional waiver
+var waived = 1
+
+//ziv:ignore(otherchck, varcheck) multi-name waiver
+var waivedMulti = 2
+
+var flagged = 3
+
+//ziv:ignore(otherchck) wrong analyzer
+var stillFlagged = 4
+`)
+	res, err := RunAnalyzer(varReporter, pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) != 2 {
+		t.Fatalf("got diagnostics %v, want 2", res.Diags)
+	}
+	if res.Diags[0].Pos.Line != 9 || res.Diags[1].Pos.Line != 12 {
+		t.Errorf("diagnostics at lines %d,%d; want 9,12", res.Diags[0].Pos.Line, res.Diags[1].Pos.Line)
+	}
+	if len(res.Suppressed) != 2 {
+		t.Fatalf("got suppressed %v, want 2", res.Suppressed)
+	}
+	for _, s := range res.Suppressed {
+		if s.Analyzer != "varcheck" {
+			t.Errorf("suppressed diagnostic names analyzer %q, want varcheck", s.Analyzer)
+		}
+	}
+}
+
+// factExporter exports one fact per package and reads the fact of a
+// fixed upstream package, checking the cross-package store plumbing.
+func TestFactsRoundTrip(t *testing.T) {
+	facts := NewFacts()
+	exporter := &Analyzer{
+		Name: "facttest",
+		Doc:  "test analyzer: exports a fact",
+		Run: func(pass *Pass) (any, error) {
+			pass.ExportFact("k", pass.PkgPath+"-fact")
+			return nil, nil
+		},
+	}
+	pkg := parsePkg(t, "package p\n")
+	if _, err := RunAnalyzer(exporter, pkg, facts); err != nil {
+		t.Fatal(err)
+	}
+	importer := &Analyzer{
+		Name: "facttest",
+		Doc:  "test analyzer: imports a fact",
+		Run: func(pass *Pass) (any, error) {
+			v, ok := pass.ImportFact("example.com/p", "k")
+			if !ok {
+				return nil, fmt.Errorf("fact not found")
+			}
+			if v.(string) != "example.com/p-fact" {
+				return nil, fmt.Errorf("fact = %v", v)
+			}
+			if _, ok := pass.ImportFact("example.com/absent", "k"); ok {
+				return nil, fmt.Errorf("found fact for absent package")
+			}
+			return nil, nil
+		},
+	}
+	if _, err := RunAnalyzer(importer, pkg, facts); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestIgnoreAllSuppressesEveryAnalyzer(t *testing.T) {
@@ -76,12 +153,12 @@ func TestIgnoreAllSuppressesEveryAnalyzer(t *testing.T) {
 //zivlint:ignore all blanket waiver
 var waived = 1
 `)
-	diags, err := RunAnalyzer(varReporter, pkg)
+	res, err := RunAnalyzer(varReporter, pkg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diags) != 0 {
-		t.Fatalf("got %v, want no diagnostics under //zivlint:ignore all", diags)
+	if len(res.Diags) != 0 {
+		t.Fatalf("got %v, want no diagnostics under //zivlint:ignore all", res.Diags)
 	}
 }
 

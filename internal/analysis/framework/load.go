@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -33,6 +34,7 @@ type listedPackage struct {
 	CgoFiles   []string
 	Export     string
 	DepOnly    bool
+	Deps       []string
 	Error      *struct{ Err string }
 }
 
@@ -110,13 +112,25 @@ func NewInfo() *types.Info {
 
 // Load type-checks the packages matching patterns (resolved relative to
 // dir, which must lie inside a module) and returns them ready for
-// analysis. Test files are excluded, matching the determinism contract:
-// analyzers police simulation code, not tests.
+// analysis, in dependency order (every package follows all of its
+// dependencies). That ordering is what lets analyzers with cross-package
+// facts run bottom-up over the import graph in a single sweep. Test
+// files are excluded, matching the determinism contract: analyzers
+// police simulation code, not tests.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
+	// |Deps| is transitive, so if A imports B then |Deps(A)| > |Deps(B)|:
+	// sorting by it (ties by import path) is a deterministic topological
+	// order of the DAG.
+	sort.SliceStable(listed, func(i, j int) bool {
+		if len(listed[i].Deps) != len(listed[j].Deps) {
+			return len(listed[i].Deps) < len(listed[j].Deps)
+		}
+		return listed[i].ImportPath < listed[j].ImportPath
+	})
 	exports := make(map[string]string, len(listed))
 	for _, p := range listed {
 		if p.Export != "" {

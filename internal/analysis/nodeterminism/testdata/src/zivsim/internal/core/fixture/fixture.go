@@ -36,7 +36,7 @@ func GoodRange(m map[uint64]int) int {
 func WaivedRange(m map[uint64]int) int {
 	total := 0
 	//zivlint:ignore nodeterminism commutative sum, order-independent
-	for _, v := range m {
+	for _, v := range m { // want:suppressed `map iteration order`
 		total += v
 	}
 	return total

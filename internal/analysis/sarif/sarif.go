@@ -1,0 +1,214 @@
+// Package sarif renders zivlint diagnostics as a SARIF 2.1.0 log, the
+// interchange format GitHub code scanning and most CI viewers consume.
+// Only the subset of the schema zivlint emits is modeled; the structs
+// marshal with a fixed field order, so a given diagnostic set always
+// produces byte-identical output — the same reproducibility contract the
+// simulator's golden tests enforce, applied to the linter itself.
+package sarif
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"zivsim/internal/analysis/framework"
+)
+
+// SchemaURI and Version identify SARIF 2.1.0.
+const (
+	SchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+	Version   = "2.1.0"
+)
+
+// Log is the top-level SARIF document.
+type Log struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []Run  `json:"runs"`
+}
+
+// Run is one tool invocation.
+type Run struct {
+	Tool    Tool     `json:"tool"`
+	Results []Result `json:"results"`
+}
+
+// Tool wraps the driver description.
+type Tool struct {
+	Driver Driver `json:"driver"`
+}
+
+// Driver describes the producing tool and its rule catalog.
+type Driver struct {
+	Name           string `json:"name"`
+	InformationURI string `json:"informationUri,omitempty"`
+	Rules          []Rule `json:"rules"`
+}
+
+// Rule is one analyzer, as a reportingDescriptor.
+type Rule struct {
+	ID               string  `json:"id"`
+	ShortDescription Message `json:"shortDescription"`
+}
+
+// Result is one finding.
+type Result struct {
+	RuleID    string     `json:"ruleId"`
+	Level     string     `json:"level"`
+	Message   Message    `json:"message"`
+	Locations []Location `json:"locations"`
+}
+
+// Message carries human-readable text.
+type Message struct {
+	Text string `json:"text"`
+}
+
+// Location wraps a physical location.
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+// PhysicalLocation pins a finding to file coordinates.
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           Region           `json:"region"`
+}
+
+// ArtifactLocation names the file (repo-relative URI).
+type ArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// Region is the 1-based start coordinate.
+type Region struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// RuleInfo describes one analyzer for the rule catalog.
+type RuleInfo struct {
+	Name string
+	Doc  string
+}
+
+// New builds a SARIF log from a diagnostic set. root relativizes file
+// URIs; rules lists every analyzer that ran (fired or not), so the
+// catalog is stable across runs. Diagnostics must already be sorted
+// (RunSuite sorts them), which makes the output deterministic.
+func New(root string, rules []RuleInfo, diags []framework.Diagnostic) *Log {
+	sorted := make([]RuleInfo, len(rules))
+	copy(sorted, rules)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var sarifRules []Rule
+	for _, r := range sorted {
+		sarifRules = append(sarifRules, Rule{
+			ID:               r.Name,
+			ShortDescription: Message{Text: framework.FirstLine(r.Doc)},
+		})
+	}
+	results := []Result{} // non-nil: "results": [] is required even when clean
+	for _, d := range diags {
+		results = append(results, Result{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: Message{Text: d.Message},
+			Locations: []Location{{
+				PhysicalLocation: PhysicalLocation{
+					ArtifactLocation: ArtifactLocation{URI: relURI(root, d)},
+					Region:           Region{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	return &Log{
+		Schema:  SchemaURI,
+		Version: Version,
+		Runs: []Run{{
+			Tool:    Tool{Driver: Driver{Name: "zivlint", Rules: sarifRules}},
+			Results: results,
+		}},
+	}
+}
+
+// relURI delegates to the baseline path normalizer so SARIF and baseline
+// agree on file identity.
+func relURI(root string, d framework.Diagnostic) string {
+	return framework.RelFile(root, d.Pos.Filename)
+}
+
+// Marshal renders the log as indented JSON with a trailing newline.
+// encoding/json emits struct fields in declaration order, so the bytes
+// are a pure function of the log's contents.
+func Marshal(l *Log) ([]byte, error) {
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Validate performs a minimal structural schema check on raw SARIF
+// bytes: the required top-level fields, version spelling, and per-result
+// shape. It is intentionally small — a smoke check that the writer
+// stays within the schema subset consumers rely on, not a full JSON
+// Schema engine.
+func Validate(raw []byte) error {
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("sarif: not valid JSON: %v", err)
+	}
+	version, ok := doc["version"].(string)
+	if !ok || version != Version {
+		return fmt.Errorf("sarif: version = %v, want %q", doc["version"], Version)
+	}
+	if _, ok := doc["$schema"].(string); !ok {
+		return fmt.Errorf("sarif: missing $schema")
+	}
+	runs, ok := doc["runs"].([]any)
+	if !ok || len(runs) == 0 {
+		return fmt.Errorf("sarif: runs must be a non-empty array")
+	}
+	for i, r := range runs {
+		run, ok := r.(map[string]any)
+		if !ok {
+			return fmt.Errorf("sarif: runs[%d] is not an object", i)
+		}
+		tool, ok := run["tool"].(map[string]any)
+		if !ok {
+			return fmt.Errorf("sarif: runs[%d].tool missing", i)
+		}
+		driver, ok := tool["driver"].(map[string]any)
+		if !ok {
+			return fmt.Errorf("sarif: runs[%d].tool.driver missing", i)
+		}
+		if _, ok := driver["name"].(string); !ok {
+			return fmt.Errorf("sarif: runs[%d].tool.driver.name missing", i)
+		}
+		results, ok := run["results"].([]any)
+		if !ok {
+			return fmt.Errorf("sarif: runs[%d].results must be an array", i)
+		}
+		for j, res := range results {
+			result, ok := res.(map[string]any)
+			if !ok {
+				return fmt.Errorf("sarif: results[%d] is not an object", j)
+			}
+			if _, ok := result["ruleId"].(string); !ok {
+				return fmt.Errorf("sarif: results[%d].ruleId missing", j)
+			}
+			msg, ok := result["message"].(map[string]any)
+			if !ok {
+				return fmt.Errorf("sarif: results[%d].message missing", j)
+			}
+			if _, ok := msg["text"].(string); !ok {
+				return fmt.Errorf("sarif: results[%d].message.text missing", j)
+			}
+			locs, ok := result["locations"].([]any)
+			if !ok || len(locs) == 0 {
+				return fmt.Errorf("sarif: results[%d].locations must be non-empty", j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package sarif
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+	"testing"
+
+	"zivsim/internal/analysis/framework"
+)
+
+func sampleDiags() []framework.Diagnostic {
+	return []framework.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/core/llc.go", Line: 42, Column: 3},
+			Message:  "map iteration order is nondeterministic",
+			Analyzer: "nodeterminism",
+		},
+		{
+			Pos:      token.Position{Filename: "internal/core/ziv.go", Line: 7, Column: 1},
+			Message:  "sidecar tags not updated",
+			Analyzer: "sidecarsync",
+		},
+	}
+}
+
+func sampleRules() []RuleInfo {
+	return []RuleInfo{
+		{Name: "sidecarsync", Doc: "check sidecar coherence\nlong text"},
+		{Name: "nodeterminism", Doc: "forbid nondeterminism sources"},
+	}
+}
+
+func TestMarshalValidates(t *testing.T) {
+	data, err := Marshal(New("", sampleRules(), sampleDiags()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("generated SARIF fails validation: %v", err)
+	}
+	for _, want := range []string{
+		`"version": "2.1.0"`,
+		`"ruleId": "nodeterminism"`,
+		`"uri": "internal/core/llc.go"`,
+		`"startLine": 42`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("output missing %s", want)
+		}
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	a, err := Marshal(New("", sampleRules(), sampleDiags()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(New("", sampleRules(), sampleDiags()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two marshals of identical input differ")
+	}
+}
+
+func TestRuleCatalogSortedAndFirstLine(t *testing.T) {
+	l := New("", sampleRules(), nil)
+	rules := l.Runs[0].Tool.Driver.Rules
+	if len(rules) != 2 || rules[0].ID != "nodeterminism" || rules[1].ID != "sidecarsync" {
+		t.Fatalf("rules = %+v, want sorted by name", rules)
+	}
+	if rules[1].ShortDescription.Text != "check sidecar coherence" {
+		t.Errorf("doc not truncated to first line: %q", rules[1].ShortDescription.Text)
+	}
+}
+
+func TestEmptyResultsIsValid(t *testing.T) {
+	data, err := Marshal(New("", sampleRules(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("clean run invalid: %v", err)
+	}
+	if !strings.Contains(string(data), `"results": []`) {
+		t.Error("clean run must still emit an empty results array")
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"wrong version":   `{"$schema":"x","version":"2.0.0","runs":[]}`,
+		"missing runs":    `{"$schema":"x","version":"2.1.0"}`,
+		"empty runs":      `{"$schema":"x","version":"2.1.0","runs":[]}`,
+		"missing driver":  `{"$schema":"x","version":"2.1.0","runs":[{"tool":{},"results":[]}]}`,
+		"missing ruleId":  `{"$schema":"x","version":"2.1.0","runs":[{"tool":{"driver":{"name":"z"}},"results":[{"message":{"text":"m"}}]}]}`,
+		"missing message": `{"$schema":"x","version":"2.1.0","runs":[{"tool":{"driver":{"name":"z"}},"results":[{"ruleId":"r"}]}]}`,
+	}
+	for name, raw := range cases {
+		if err := Validate([]byte(raw)); err == nil {
+			t.Errorf("%s: Validate accepted malformed input", name)
+		}
+	}
+}

@@ -1,0 +1,722 @@
+// Package sidecarsync checks that every write to a primary structure is
+// followed — on every non-panicking path — by an update of its declared
+// sidecar mirrors. The simulator keeps several redundant structures for
+// speed (the cache tag sidecar, per-set valid counts, the LLC property
+// vectors refreshed by updateSet, the hierarchy's contiguous cycle
+// mirror): a write that reaches one and not the other is a silent
+// desynchronization that CheckInvariants may only catch long after the
+// fact, if at all.
+//
+// Obligations are declared where the structure lives:
+//
+//	type bank struct {
+//	    //ziv:mirror(tags,validCnt)
+//	    //ziv:mirror(updateSet) on Valid,NotInPrC,LikelyDead
+//	    blocks []Block
+//	    ...
+//	}
+//
+// The first form requires every whole-element write (bk.blocks[i] = x,
+// *alias = x, or reassigning the field itself) to be followed by a
+// mention of each mirror name. The `on` form additionally constrains
+// writes to the listed element fields (b.Valid = true). A mirror is
+// "mentioned" when its identifier appears in a statement after the
+// write in the same basic block, or anywhere in a block that strictly
+// postdominates it — so a mirror update behind an if/else satisfies
+// nothing, while one after a DebugChecks panic guard does (panicking
+// blocks have no successors and never weaken postdominance).
+//
+// Accessor functions that hand out interior pointers declare it:
+//
+//	//ziv:aliases(blocks)
+//	func (l *LLC) block(loc directory.Location) *Block { ... }
+//
+// and writes through their results are checked like direct writes.
+// Alias declarations are exported as facts, so a package writing
+// through another package's accessor inherits the obligations.
+//
+// The check is interprocedural within and across packages: an
+// unexported function whose receiver- or parameter-based write leaves a
+// mirror stale does not report locally — it exports the obligation, and
+// every call site must satisfy it instead (the hierarchy's step/Run
+// split). Exported functions are API boundaries and must satisfy their
+// mirrors internally.
+package sidecarsync
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"zivsim/internal/analysis/cfg"
+	"zivsim/internal/analysis/framework"
+)
+
+// Analyzer is the sidecarsync analysis.
+var Analyzer = &framework.Analyzer{
+	Name: "sidecarsync",
+	Doc:  "writes to mirrored structures must be followed by their sidecar updates on every path",
+	Run:  run,
+}
+
+// Rule is one //ziv:mirror declaration: Mirrors must follow writes; an
+// empty On list binds whole-element writes, a non-empty one binds
+// writes to those element fields.
+type Rule struct {
+	Mirrors []string
+	On      []string
+}
+
+// Fact keys exported per package.
+const (
+	aliasesKey     = "aliases"
+	obligationsKey = "obligations"
+)
+
+var (
+	mirrorRe  = regexp.MustCompile(`^//\s*ziv:mirror\(([A-Za-z0-9_,\s]+)\)(?:\s+on\s+([A-Za-z0-9_,\s]+))?`)
+	aliasesRe = regexp.MustCompile(`^//\s*ziv:aliases\(([A-Za-z0-9_]+)\)`)
+)
+
+type analyzer struct {
+	pass *framework.Pass
+	info *types.Info
+	// specs maps an annotated struct field to its rules.
+	specs map[*types.Var][]Rule
+	// aliasFuncs maps accessor full names (this package) to the rules of
+	// the field they alias.
+	aliasFuncs map[string][]Rule
+	// obligations maps function full names (this package) to mirror
+	// names every call site must satisfy.
+	obligations map[string][]string
+
+	// Per-function state.
+	fn       *types.Func
+	params   map[*types.Var]bool
+	aliasVar map[*types.Var]aliasInfo
+	g        *cfg.Graph
+	pd       *cfg.PostDom
+	// blockNames[i] holds every identifier mentioned in block i;
+	// nodeNames mirrors it per node for same-block suffix scans.
+	blockNames []map[string]bool
+	nodeNames  [][]map[string]bool
+}
+
+type aliasInfo struct {
+	rules     []Rule
+	baseParam bool
+}
+
+func run(pass *framework.Pass) (any, error) {
+	a := &analyzer{
+		pass:        pass,
+		info:        pass.TypesInfo,
+		specs:       map[*types.Var][]Rule{},
+		aliasFuncs:  map[string][]Rule{},
+		obligations: map[string][]string{},
+	}
+	a.collectSpecs()
+	a.collectAliases()
+
+	// Obligations feed call-site checks of other functions in the same
+	// package, so iterate to a fixpoint before the reporting pass. The
+	// call graph is shallow; a handful of rounds always suffices.
+	for round := 0; round < 10; round++ {
+		before := obligationFingerprint(a.obligations)
+		a.sweep(false)
+		if obligationFingerprint(a.obligations) == before {
+			break
+		}
+	}
+	a.sweep(true)
+
+	pass.ExportFact(aliasesKey, a.aliasFuncs)
+	pass.ExportFact(obligationsKey, a.obligations)
+	return nil, nil
+}
+
+func obligationFingerprint(ob map[string][]string) string {
+	keys := make([]string, 0, len(ob))
+	for k := range ob {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(strings.Join(ob[k], ","))
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// collectSpecs finds //ziv:mirror directives on struct fields.
+func (a *analyzer) collectSpecs() {
+	for _, file := range a.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				rules := fieldRules(field)
+				if len(rules) == 0 {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := a.info.Defs[name].(*types.Var); ok {
+						a.specs[v] = append(a.specs[v], rules...)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func fieldRules(field *ast.Field) []Rule {
+	var rules []Rule
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			m := mirrorRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			rules = append(rules, Rule{Mirrors: splitNames(m[1]), On: splitNames(m[2])})
+		}
+	}
+	return rules
+}
+
+// collectAliases finds //ziv:aliases directives on accessor functions
+// and resolves the aliased field's rules from the receiver type.
+func (a *analyzer) collectAliases() {
+	for _, file := range a.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			var fieldName string
+			for _, c := range fd.Doc.List {
+				if m := aliasesRe.FindStringSubmatch(c.Text); m != nil {
+					fieldName = m[1]
+				}
+			}
+			if fieldName == "" {
+				continue
+			}
+			fn, _ := a.info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if v := a.fieldByName(fn, fieldName); v != nil {
+				if rules, ok := a.specs[v]; ok {
+					a.aliasFuncs[fn.FullName()] = rules
+				}
+			}
+		}
+	}
+}
+
+// fieldByName resolves the field an accessor aliases: first a field of
+// the receiver's own struct, then — for accessors that reach through a
+// contained struct, like the LLC handing out pointers into its banks —
+// any annotated field of that name in the package.
+func (a *analyzer) fieldByName(fn *types.Func, name string) *types.Var {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if st, ok := t.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i).Name() == name {
+					return st.Field(i)
+				}
+			}
+		}
+	}
+	var found *types.Var
+	for v := range a.specs {
+		if v.Name() != name {
+			continue
+		}
+		if found != nil {
+			return nil // ambiguous across structs: refuse to guess
+		}
+		found = v
+	}
+	return found
+}
+
+// sweep analyzes every function; with report set it emits diagnostics,
+// otherwise it only accumulates obligations.
+func (a *analyzer) sweep(report bool) {
+	for _, file := range a.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.analyzeFunc(fd, report)
+		}
+	}
+}
+
+func (a *analyzer) analyzeFunc(fd *ast.FuncDecl, report bool) {
+	fn, _ := a.info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	a.fn = fn
+	a.params = map[*types.Var]bool{}
+	for _, fl := range []*ast.FieldList{fd.Recv, fd.Type.Params} {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := a.info.Defs[name].(*types.Var); ok {
+					a.params[v] = true
+				}
+			}
+		}
+	}
+	a.collectAliasVars(fd.Body)
+
+	a.g = cfg.New(fd.Body)
+	a.pd = a.g.PostDominators()
+	a.indexMentions()
+
+	for _, b := range a.g.Blocks {
+		for i, n := range b.Nodes {
+			a.checkNode(b, i, n, report)
+		}
+	}
+}
+
+// collectAliasVars records variables bound to interior pointers of
+// mirrored arrays: v := &base.field[i], or v := accessor(...) for an
+// //ziv:aliases accessor.
+func (a *analyzer) collectAliasVars(body *ast.BlockStmt) {
+	a.aliasVar = map[*types.Var]aliasInfo{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := a.objOf(id)
+			if v == nil {
+				continue
+			}
+			if info, ok := a.aliasOf(as.Rhs[i]); ok {
+				a.aliasVar[v] = info
+			}
+		}
+		return true
+	})
+}
+
+// aliasOf classifies an expression that yields an interior pointer to a
+// mirrored structure.
+func (a *analyzer) aliasOf(e ast.Expr) (aliasInfo, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return aliasInfo{}, false
+		}
+		ix, ok := e.X.(*ast.IndexExpr)
+		if !ok {
+			return aliasInfo{}, false
+		}
+		if rules, base := a.fieldSpec(ix.X); rules != nil {
+			return aliasInfo{rules: rules, baseParam: base}, true
+		}
+	case *ast.CallExpr:
+		if rules, base, ok := a.aliasCall(e); ok {
+			return aliasInfo{rules: rules, baseParam: base}, true
+		}
+	}
+	return aliasInfo{}, false
+}
+
+// aliasCall matches a call to an //ziv:aliases accessor (local or
+// imported) and reports the aliased rules plus whether the receiver
+// chain roots in a parameter.
+func (a *analyzer) aliasCall(call *ast.CallExpr) (rules []Rule, baseParam, ok bool) {
+	var fn *types.Func
+	var recv ast.Expr
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		fn, _ = a.info.Uses[fun.Sel].(*types.Func)
+		recv = fun.X
+	case *ast.Ident:
+		fn, _ = a.info.Uses[fun].(*types.Func)
+	}
+	if fn == nil {
+		return nil, false, false
+	}
+	full := fn.FullName()
+	if r, found := a.aliasFuncs[full]; found {
+		rules = r
+	} else if fn.Pkg() != nil && fn.Pkg().Path() != a.pass.PkgPath {
+		if v, found := a.pass.ImportFact(fn.Pkg().Path(), aliasesKey); found {
+			if m, isMap := v.(map[string][]Rule); isMap {
+				rules = m[full]
+			}
+		}
+	}
+	if rules == nil {
+		return nil, false, false
+	}
+	return rules, recv == nil || a.rootIsParam(recv), true
+}
+
+// fieldSpec resolves base.field expressions (bk.blocks) to the field's
+// rules and whether the base roots in a parameter.
+func (a *analyzer) fieldSpec(e ast.Expr) ([]Rule, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	v := a.fieldVarOf(sel)
+	if v == nil {
+		return nil, false
+	}
+	rules, ok := a.specs[v]
+	if !ok {
+		return nil, false
+	}
+	return rules, a.rootIsParam(sel.X)
+}
+
+func (a *analyzer) fieldVarOf(sel *ast.SelectorExpr) *types.Var {
+	if s, ok := a.info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (a *analyzer) objOf(id *ast.Ident) *types.Var {
+	if v, ok := a.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := a.info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// rootIsParam unwraps selector/index/star/paren chains and reports
+// whether the root identifier is a parameter (or receiver) of the
+// current function.
+func (a *analyzer) rootIsParam(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.Ident:
+			v := a.objOf(x)
+			return v != nil && a.params[v]
+		default:
+			return false
+		}
+	}
+}
+
+// indexMentions records every identifier name per node and per block.
+func (a *analyzer) indexMentions() {
+	a.blockNames = make([]map[string]bool, len(a.g.Blocks))
+	a.nodeNames = make([][]map[string]bool, len(a.g.Blocks))
+	for _, b := range a.g.Blocks {
+		bn := map[string]bool{}
+		nn := make([]map[string]bool, len(b.Nodes))
+		for i, n := range b.Nodes {
+			names := map[string]bool{}
+			// Scan only the header of a RangeStmt node: its body runs in
+			// separate blocks and may run zero times, so a mirror update
+			// there must not be credited to the header block.
+			for _, root := range cfg.ScanRoots(n) {
+				ast.Inspect(root, func(c ast.Node) bool {
+					if id, ok := c.(*ast.Ident); ok {
+						names[id.Name] = true
+						bn[id.Name] = true
+					}
+					return true
+				})
+			}
+			nn[i] = names
+		}
+		a.blockNames[b.Index] = bn
+		a.nodeNames[b.Index] = nn
+	}
+}
+
+// satisfied reports whether mirror is mentioned at or after (block,
+// idx), or in any block strictly postdominating it.
+func (a *analyzer) satisfied(b *cfg.Block, idx int, mirror string) bool {
+	for i := idx; i < len(b.Nodes); i++ {
+		if a.nodeNames[b.Index][i][mirror] {
+			return true
+		}
+	}
+	for _, other := range a.g.Blocks {
+		if other == b || !a.blockNames[other.Index][mirror] {
+			continue
+		}
+		if a.pd.PostDominates(other, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNode inspects one CFG node for mirrored writes and obligated
+// calls.
+func (a *analyzer) checkNode(b *cfg.Block, idx int, n ast.Node, report bool) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			a.checkWrite(b, idx, lhs, report)
+		}
+	case *ast.IncDecStmt:
+		a.checkWrite(b, idx, n.X, report)
+	}
+	// Obligated calls can appear anywhere in the node; RangeStmt body
+	// statements are their own nodes, so only its header is scanned.
+	for _, root := range cfg.ScanRoots(n) {
+		ast.Inspect(root, func(c ast.Node) bool {
+			call, ok := c.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			a.checkCall(b, idx, call, report)
+			return true
+		})
+	}
+}
+
+// write classification results.
+type writeTarget struct {
+	rules     []Rule
+	sub       string // element field written; "" for whole-element
+	fieldName string // primary field name, for diagnostics
+	baseParam bool
+}
+
+// classify resolves an assignment target to a mirrored write, if any.
+func (a *analyzer) classify(lhs ast.Expr) (writeTarget, bool) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		// Direct field write: base.field = ... (scalar mirror, or
+		// reassigning the primary slice itself).
+		if v := a.fieldVarOf(lhs); v != nil {
+			if rules, ok := a.specs[v]; ok {
+				return writeTarget{rules: rules, fieldName: v.Name(), baseParam: a.rootIsParam(lhs.X)}, true
+			}
+		}
+		// Element-field write through an alias or an indexed field:
+		// alias.Sub = ..., base.field[i].Sub = ..., accessor(...).Sub = ...
+		if info, name, ok := a.elementBase(lhs.X); ok {
+			return writeTarget{rules: info.rules, sub: lhs.Sel.Name, fieldName: name, baseParam: info.baseParam}, true
+		}
+	case *ast.StarExpr:
+		// Whole-element write through a pointer: *alias = ...
+		if info, name, ok := a.elementBase(lhs.X); ok {
+			return writeTarget{rules: info.rules, fieldName: name, baseParam: info.baseParam}, true
+		}
+	case *ast.IndexExpr:
+		// Whole-element write: base.field[i] = ...
+		if rules, base := a.fieldSpec(lhs.X); rules != nil {
+			name := "?"
+			if sel, ok := ast.Unparen(lhs.X).(*ast.SelectorExpr); ok {
+				name = sel.Sel.Name
+			}
+			return writeTarget{rules: rules, fieldName: name, baseParam: base}, true
+		}
+	}
+	return writeTarget{}, false
+}
+
+// elementBase resolves an expression denoting one element of a mirrored
+// structure: an alias variable, an indexed mirrored field, or an alias
+// accessor call.
+func (a *analyzer) elementBase(e ast.Expr) (aliasInfo, string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v := a.objOf(e); v != nil {
+			if info, ok := a.aliasVar[v]; ok {
+				return info, e.Name, true
+			}
+		}
+	case *ast.IndexExpr:
+		if rules, base := a.fieldSpec(e.X); rules != nil {
+			name := "?"
+			if sel, ok := ast.Unparen(e.X).(*ast.SelectorExpr); ok {
+				name = sel.Sel.Name
+			}
+			return aliasInfo{rules: rules, baseParam: base}, name, true
+		}
+	case *ast.CallExpr:
+		if rules, base, ok := a.aliasCall(e); ok {
+			return aliasInfo{rules: rules, baseParam: base}, "accessor result", true
+		}
+	case *ast.StarExpr:
+		return a.elementBase(e.X)
+	}
+	return aliasInfo{}, "", false
+}
+
+// requiredMirrors selects which mirrors a write must see updated.
+func requiredMirrors(w writeTarget) []string {
+	var req []string
+	for _, r := range w.rules {
+		if w.sub == "" {
+			if len(r.On) == 0 {
+				req = append(req, r.Mirrors...)
+			}
+			continue
+		}
+		for _, f := range r.On {
+			if f == w.sub {
+				req = append(req, r.Mirrors...)
+				break
+			}
+		}
+	}
+	return req
+}
+
+func (a *analyzer) checkWrite(b *cfg.Block, idx int, lhs ast.Expr, report bool) {
+	w, ok := a.classify(lhs)
+	if !ok {
+		return
+	}
+	var missing []string
+	for _, m := range requiredMirrors(w) {
+		if !a.satisfied(b, idx, m) {
+			missing = append(missing, m)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	desc := "write to " + w.fieldName
+	if w.sub != "" {
+		desc = "write to " + w.fieldName + "." + w.sub
+	}
+	a.violation(lhs.Pos(), desc, missing, w.baseParam, report)
+}
+
+// checkCall enforces obligations exported by callees: the call site
+// counts as the primary write and must be followed by the mirrors the
+// callee left stale.
+func (a *analyzer) checkCall(b *cfg.Block, idx int, call *ast.CallExpr, report bool) {
+	fn := calledFunc(a.info, call)
+	if fn == nil {
+		return
+	}
+	full := fn.FullName()
+	var mirrors []string
+	if m, ok := a.obligations[full]; ok {
+		mirrors = m
+	} else if fn.Pkg() != nil && fn.Pkg().Path() != a.pass.PkgPath {
+		if v, ok := a.pass.ImportFact(fn.Pkg().Path(), obligationsKey); ok {
+			if om, isMap := v.(map[string][]string); isMap {
+				mirrors = om[full]
+			}
+		}
+	}
+	if len(mirrors) == 0 {
+		return
+	}
+	var missing []string
+	for _, m := range mirrors {
+		if !a.satisfied(b, idx, m) {
+			missing = append(missing, m)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	// A call's obligation bubbles through unexported callers regardless
+	// of argument shape: the stale state lives behind the callee.
+	a.violation(call.Pos(), "call to "+fn.Name(), missing, true, report)
+}
+
+// violation either reports at the site (exported functions, or writes
+// whose base is not caller-supplied) or exports the duty to call sites
+// of the current unexported function.
+func (a *analyzer) violation(pos token.Pos, desc string, missing []string, paramBased, report bool) {
+	if paramBased && !a.fn.Exported() {
+		full := a.fn.FullName()
+		have := map[string]bool{}
+		for _, m := range a.obligations[full] {
+			have[m] = true
+		}
+		changed := false
+		for _, m := range missing {
+			if !have[m] {
+				a.obligations[full] = append(a.obligations[full], m)
+				changed = true
+			}
+		}
+		if changed {
+			sort.Strings(a.obligations[full])
+		}
+		return
+	}
+	if report {
+		a.pass.Reportf(pos, "%s leaves sidecar %s stale: no update on every subsequent path",
+			desc, strings.Join(missing, ", "))
+	}
+}
+
+// calledFunc resolves a call's static target.
+func calledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+// Package scs is the provider side of sidecarsync's fixtures: a table
+// with tag/valid-count sidecars and an element-field rule, plus a
+// scalar mirror pair modeled on the hierarchy's cycle mirror.
+package scs
+
+// Entry is one element of the mirrored table.
+type Entry struct {
+	Valid bool
+	V     int
+}
+
+// Table keeps a primary block array with two whole-element sidecars and
+// one mirror bound to a specific element field.
+type Table struct {
+	//ziv:mirror(tags,validCnt)
+	//ziv:mirror(Counters) on Valid
+	blocks   []Entry
+	tags     []uint64
+	validCnt []int
+	Counters int
+}
+
+// At hands out interior pointers into blocks; writes through the result
+// inherit the field's obligations.
+//
+//ziv:aliases(blocks)
+func (t *Table) At(i int) *Entry { return &t.blocks[i] }
+
+// Install updates both sidecars in the same block: clean.
+func (t *Table) Install(i int, addr uint64) {
+	t.blocks[i] = Entry{Valid: true}
+	t.tags[i] = addr
+	t.validCnt[i/4]++
+}
+
+// InstallBad forgets the tag sidecar.
+func (t *Table) InstallBad(i int) {
+	t.blocks[i] = Entry{Valid: true} // want `write to blocks leaves sidecar tags stale`
+	t.validCnt[i/4]++
+}
+
+// Touch writes an element field through an alias variable; the
+// Counters mirror follows in the same block.
+func (t *Table) Touch(i int) {
+	e := t.At(i)
+	e.Valid = true
+	t.Counters++
+}
+
+// TouchBad writes Valid through the accessor and never syncs Counters.
+func (t *Table) TouchBad(i int) {
+	t.At(i).Valid = true // want `leaves sidecar Counters stale`
+}
+
+// Evict shows panic tolerance: the guard's panic path has no successors
+// and does not weaken postdominance, so the mirror updates after the
+// guard still count.
+func (t *Table) Evict(i int, addr uint64) {
+	t.blocks[i] = Entry{}
+	if t.tags == nil {
+		panic("corrupt table")
+	}
+	t.tags[i] = addr
+	t.validCnt[i/4]--
+}
+
+// EvictBad updates validCnt on only one branch: the update does not
+// postdominate the write, so one run path leaves it stale.
+func (t *Table) EvictBad(i int, addr uint64, scrub bool) {
+	t.blocks[i] = Entry{} // want `write to blocks leaves sidecar validCnt stale`
+	if scrub {
+		t.validCnt[i/4]--
+	}
+	t.tags[i] = addr
+}
+
+// RebuildBad refreshes the tag sidecar only inside a range body. Loop
+// bodies may run zero times, so the update does not postdominate the
+// write: the stale path is real even though the mirror's name appears
+// lexically below the write.
+func (t *Table) RebuildBad(i int, addr uint64) {
+	t.blocks[i] = Entry{Valid: true} // want `write to blocks leaves sidecar tags stale`
+	t.validCnt[i/4]++
+	for j := range t.blocks {
+		t.tags[j] = addr
+	}
+}
+
+// bump is unexported and writes through its receiver without touching
+// the sidecars: the duty is exported to call sites instead of reported
+// here.
+func (t *Table) bump(i int) {
+	t.blocks[i] = Entry{Valid: true}
+}
+
+// CallerGood discharges bump's obligation right after the call.
+func (t *Table) CallerGood(i int, addr uint64) {
+	t.bump(i)
+	t.tags[i] = addr
+	t.validCnt[i/4]++
+}
+
+// CallerBad discharges only the tag half of the obligation.
+func (t *Table) CallerBad(i int, addr uint64) {
+	t.bump(i) // want `call to bump leaves sidecar validCnt stale`
+	t.tags[i] = addr
+}
+
+// Teardown drops the table wholesale; the mirrors are freed with it, so
+// the finding is waived explicitly.
+func (t *Table) Teardown() {
+	t.blocks = nil //ziv:ignore(sidecarsync) mirrors freed alongside // want:suppressed `write to blocks leaves sidecar`
+}
+
+// Clock mirrors a scalar: cycle must never advance without shadow
+// catching up, the shape of the hierarchy's contiguous cycle mirror.
+type Clock struct {
+	//ziv:mirror(shadow)
+	cycle  uint64
+	shadow uint64
+}
+
+// Tick keeps the pair coherent.
+func (c *Clock) Tick(n uint64) {
+	c.cycle += n
+	c.shadow = c.cycle
+}
+
+// TickBad advances the primary alone.
+func (c *Clock) TickBad(n uint64) {
+	c.cycle += n // want `write to cycle leaves sidecar shadow stale`
+}
+
+// advance leaves shadow stale on purpose (the step/Run split): callers
+// inherit the duty.
+func (c *Clock) advance(n uint64) {
+	c.cycle += n
+}
+
+// Run discharges advance's obligation inside the loop body.
+func (c *Clock) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.advance(1)
+		c.shadow = c.cycle
+	}
+}
+
+// RunBad never catches shadow up.
+func (c *Clock) RunBad(n uint64) {
+	c.advance(n) // want `call to advance leaves sidecar shadow stale`
+}

@@ -1,0 +1,19 @@
+// Package scst is the consumer side of sidecarsync's fixtures: it
+// writes through scs's exported alias accessor and must inherit the
+// Valid→Counters obligation from scs's exported facts.
+package scst
+
+import "zivsim/internal/scs"
+
+// MarkGood syncs the mirror right after the aliased write.
+func MarkGood(t *scs.Table, i int) {
+	e := t.At(i)
+	e.Valid = true
+	t.Counters++
+}
+
+// MarkBad writes Valid across the package boundary and never touches
+// Counters.
+func MarkBad(t *scs.Table, i int) {
+	t.At(i).Valid = true // want `leaves sidecar Counters stale`
+}

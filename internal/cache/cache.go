@@ -46,7 +46,12 @@ type Cache struct {
 	ways    int
 	shift   uint // address bits consumed before the set index (block offset, bank bits)
 	setMask uint64
-	blocks  []Block // sets*ways, row-major by set
+	// blocks is the primary tag store. sidecarsync enforces that every
+	// whole-element write also refreshes the tag sidecar and the valid
+	// count on every subsequent path.
+	//
+	//ziv:mirror(tags,validCnt)
+	blocks []Block // sets*ways, row-major by set
 	// tags mirrors blocks for the hot lookup path: the block address of a
 	// valid way, tagNone otherwise. Scanning a contiguous []uint64 touches
 	// one cache line per 8 ways instead of striding over Block structs.
@@ -145,6 +150,9 @@ func (c *Cache) SetIndex(blockAddr uint64) int {
 
 // Block returns a pointer to the tag entry at (set, way). The pointer is
 // valid until the next structural change; callers must not retain it.
+// Writes through it inherit the blocks field's sidecar obligations.
+//
+//ziv:aliases(blocks)
 func (c *Cache) Block(set, way int) *Block {
 	return &c.blocks[set*c.ways+way]
 }
@@ -152,6 +160,8 @@ func (c *Cache) Block(set, way int) *Block {
 // Lookup finds blockAddr without updating replacement state. It returns the
 // way and true on a hit. The MRU way of the set is probed first (most hits
 // land there), then the tag sidecar is scanned contiguously.
+//
+//ziv:noalloc
 func (c *Cache) Lookup(blockAddr uint64) (way int, hit bool) {
 	set := c.SetIndex(blockAddr)
 	base := set * c.ways
@@ -176,6 +186,8 @@ func (c *Cache) Contains(blockAddr uint64) bool {
 // Access performs a full access: on a hit it updates the replacement state
 // (and dirtiness for writes) and returns the way with hit=true; on a miss it
 // only counts the miss. It never fills — the caller decides fill policy.
+//
+//ziv:noalloc
 func (c *Cache) Access(blockAddr uint64, write bool, m policy.Meta) (way int, hit bool) {
 	c.Stats.Accesses++
 	way, hit = c.Lookup(blockAddr)
@@ -196,6 +208,8 @@ func (c *Cache) Access(blockAddr uint64, write bool, m policy.Meta) (way int, hi
 
 // Touch updates replacement state for a known-resident block without counting
 // an access (used when coherence actions promote a block).
+//
+//ziv:noalloc
 func (c *Cache) Touch(blockAddr uint64, m policy.Meta) bool {
 	way, hit := c.Lookup(blockAddr)
 	if !hit {
@@ -209,6 +223,8 @@ func (c *Cache) Touch(blockAddr uint64, m policy.Meta) bool {
 
 // InvalidWay returns an invalid way in set, or -1 when the set is full.
 // Full sets (the steady state) answer from the per-set valid count.
+//
+//ziv:noalloc
 func (c *Cache) InvalidWay(set int) int {
 	if int(c.validCnt[set]) == c.ways {
 		return -1
@@ -256,6 +272,8 @@ func (c *Cache) Fill(blockAddr uint64, dirty, writable bool, m policy.Meta) (vic
 }
 
 // FillWay inserts blockAddr at an exact (set, way), which must be invalid.
+//
+//ziv:noalloc
 func (c *Cache) FillWay(set, way int, blockAddr uint64, dirty, writable bool, m policy.Meta) {
 	b := c.Block(set, way)
 	if b.Valid {
@@ -283,6 +301,7 @@ func (c *Cache) EvictWay(set, way int) Block {
 	return b
 }
 
+//ziv:noalloc
 func (c *Cache) evictWay(set, way int) {
 	b := c.Block(set, way)
 	c.Stats.Evictions++
@@ -297,6 +316,8 @@ func (c *Cache) evictWay(set, way int) {
 
 // Invalidate removes blockAddr if present (an externally forced removal, not
 // a replacement decision) and returns the removed entry.
+//
+//ziv:noalloc
 func (c *Cache) Invalidate(blockAddr uint64) (removed Block, ok bool) {
 	way, hit := c.Lookup(blockAddr)
 	if !hit {

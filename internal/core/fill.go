@@ -58,6 +58,8 @@ type FillOutcome struct {
 // The caller (hierarchy) must have verified the address misses in the LLC
 // and must have already allocated/updated the sparse-directory entry for the
 // requester when inPrC is true.
+//
+//ziv:noalloc
 func (l *LLC) Fill(addr uint64, requester int, dirty, inPrC bool, m policy.Meta, now uint64) FillOutcome {
 	if l.cfg.DebugChecks {
 		if _, hit := l.Probe(addr); hit {
@@ -104,6 +106,8 @@ func (l *LLC) Fill(addr uint64, requester int, dirty, inPrC bool, m policy.Meta,
 // order; promote privately cached candidates to MRU; the first candidate
 // with no private copies is the victim. If every block is privately cached,
 // the original baseline victim is evicted, generating inclusion victims.
+//
+//ziv:noalloc
 func (l *LLC) qbsVictim(bk *bank, set int) int {
 	order := l.rankScratch[:copy(l.rankScratch, bk.pol.Rank(set))]
 	base := set * l.cfg.Ways
@@ -120,6 +124,8 @@ func (l *LLC) qbsVictim(bk *bank, set int) int {
 // sharpVictim implements the SHARP victim search: (1) a block with no
 // private copies, (2) a block cached only in the requester's private
 // hierarchy, (3) a random block.
+//
+//ziv:noalloc
 func (l *LLC) sharpVictim(bk *bank, set, requester int) int {
 	order := l.rankScratch[:copy(l.rankScratch, bk.pol.Rank(set))]
 	base := set * l.cfg.Ways
@@ -145,6 +151,8 @@ func (l *LLC) sharpVictim(bk *bank, set, requester int) int {
 // privately cached, prefer a CHAR-inferred likely-dead block from the same
 // set (in baseline preference order); otherwise fall back to the baseline
 // victim even though it generates inclusion victims.
+//
+//ziv:noalloc
 func (l *LLC) charOnBaseVictim(bk *bank, set int) int {
 	order := bk.pol.Rank(set)
 	base := set * l.cfg.Ways
@@ -163,6 +171,8 @@ func (l *LLC) charOnBaseVictim(bk *bank, set int) int {
 
 // fillWay installs addr at (bank, set, way), which must be invalid, and
 // refreshes the set's property bits.
+//
+//ziv:noalloc
 func (l *LLC) fillWay(bk *bank, set, way int, addr uint64, dirty, inPrC bool, m policy.Meta) {
 	b := &bk.blocks[set*l.cfg.Ways+way]
 	if l.cfg.DebugChecks && b.Valid {
@@ -177,6 +187,8 @@ func (l *LLC) fillWay(bk *bank, set, way int, addr uint64, dirty, inPrC bool, m 
 
 // evictWay removes the block at (bank, set, way) as a replacement decision,
 // updates statistics and property bits, and returns the eviction record.
+//
+//ziv:noalloc
 func (l *LLC) evictWay(bk *bank, set, way int) Evicted {
 	b := &bk.blocks[set*l.cfg.Ways+way]
 	if l.cfg.DebugChecks && !b.Valid {

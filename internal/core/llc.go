@@ -287,7 +287,14 @@ type LLC struct {
 }
 
 type bank struct {
-	id     int
+	id int
+	// blocks is the primary store. sidecarsync enforces the sidecars:
+	// whole-element writes must refresh tags and validCnt, and writes to
+	// the private-residency state consumed by the property vectors must
+	// re-derive them via updateSet.
+	//
+	//ziv:mirror(tags,validCnt)
+	//ziv:mirror(updateSet) on NotInPrC,LikelyDead
 	blocks []Block
 	// tags mirrors blocks for fast probing: the block address when the way
 	// holds a valid non-relocated block, tagNone otherwise. Maintained by
@@ -408,6 +415,10 @@ func (l *LLC) BankOf(addr uint64) int { return int(addr & l.bankMask) }
 // SetOf maps a block address to its set within the home bank.
 func (l *LLC) SetOf(addr uint64) int { return int((addr >> l.bankBits) & l.setMask) }
 
+// block returns the interior pointer for loc; writes through it inherit
+// the blocks field's sidecar obligations.
+//
+//ziv:aliases(blocks)
 func (l *LLC) block(loc directory.Location) *Block {
 	return &l.banks[loc.Bank].blocks[loc.Set*l.cfg.Ways+loc.Way]
 }
@@ -420,6 +431,8 @@ func (l *LLC) BlockAt(loc directory.Location) Block { return *l.block(loc) }
 const tagNone = ^uint64(0)
 
 // Probe locates addr's non-relocated copy without changing any state.
+//
+//ziv:noalloc
 func (l *LLC) Probe(addr uint64) (loc directory.Location, hit bool) {
 	bk := l.BankOf(addr)
 	set := l.SetOf(addr)
@@ -436,6 +449,8 @@ func (l *LLC) Probe(addr uint64) (loc directory.Location, hit bool) {
 // worstWay returns the baseline policy's top victim via the single-victim
 // fast path when the policy provides one (every built-in policy does),
 // avoiding the full rank-order sort.
+//
+//ziv:noalloc
 func (l *LLC) worstWay(bk *bank, set int) int {
 	if bk.vic != nil {
 		return bk.vic.Victim(set)
@@ -448,6 +463,8 @@ func (l *LLC) worstWay(bk *bank, set int) int {
 // (NotInPrC and LikelyDead cleared) and stats update. Relocated blocks never
 // hit here; the hierarchy reaches them through AccessRelocated after the
 // directory lookup.
+//
+//ziv:noalloc
 func (l *LLC) Access(addr uint64, m policy.Meta) (loc directory.Location, hit bool) {
 	if m.Pos > l.oracleNow {
 		l.oracleNow = m.Pos
@@ -471,6 +488,8 @@ func (l *LLC) Access(addr uint64, m policy.Meta) (loc directory.Location, hit bo
 // AccessRelocated serves a private-cache miss from a relocated block at loc
 // (found through the sparse directory). Replacement state of the relocation
 // set advances, per §III-C1.
+//
+//ziv:noalloc
 func (l *LLC) AccessRelocated(loc directory.Location, m policy.Meta) {
 	bk := &l.banks[loc.Bank]
 	b := l.block(loc)
@@ -489,6 +508,8 @@ func (l *LLC) AccessRelocated(loc directory.Location, m policy.Meta) {
 // group and evicting core for recall attribution. It returns false when the
 // block has no (non-relocated) LLC copy — possible only for non-inclusive
 // configurations.
+//
+//ziv:noalloc
 func (l *LLC) MarkNotInPrC(addr uint64, dirty, dead bool, group uint8, core int) bool {
 	loc, ok := l.Probe(addr)
 	if !ok {
@@ -509,6 +530,8 @@ func (l *LLC) MarkNotInPrC(addr uint64, dirty, dead bool, group uint8, core int)
 // MarkDirty merges writeback data into addr's LLC copy without changing the
 // private-residency state (an L2 dirty eviction while the L1 still holds the
 // block).
+//
+//ziv:noalloc
 func (l *LLC) MarkDirty(addr uint64) bool {
 	loc, ok := l.Probe(addr)
 	if !ok {
@@ -524,6 +547,8 @@ func (l *LLC) MarkDirtyAt(loc directory.Location) { l.block(loc).Dirty = true }
 // SetDirPtr retargets the tag-encoded directory pointer of the relocated
 // block at loc (the ZeroDEV protocol moves directory entries, so the
 // repurposed tag must follow, §III-F).
+//
+//ziv:noalloc
 func (l *LLC) SetDirPtr(loc directory.Location, ptr directory.Ptr) {
 	b := l.block(loc)
 	if l.cfg.DebugChecks && (!b.Valid || !b.Relocated) {
@@ -536,6 +561,8 @@ func (l *LLC) SetDirPtr(loc directory.Location, ptr directory.Ptr) {
 // private copy left, or its directory entry was evicted). It returns whether
 // the block was dirty, in which case the hierarchy sends the data to the
 // memory controller (§III-C2).
+//
+//ziv:noalloc
 func (l *LLC) InvalidateRelocated(loc directory.Location) (dirty bool) {
 	bk := &l.banks[loc.Bank]
 	b := l.block(loc)
@@ -555,6 +582,8 @@ func (l *LLC) InvalidateRelocated(loc directory.Location) (dirty bool) {
 // Invalidate removes addr's non-relocated copy (used by non-inclusive
 // configurations when coherence requires it). It returns presence and
 // dirtiness.
+//
+//ziv:noalloc
 func (l *LLC) Invalidate(addr uint64) (present, dirty bool) {
 	loc, ok := l.Probe(addr)
 	if !ok {
@@ -572,6 +601,8 @@ func (l *LLC) Invalidate(addr uint64) (present, dirty bool) {
 }
 
 // setSatisfies evaluates one relocation-set property for (bank, set).
+//
+//ziv:noalloc
 func (l *LLC) setSatisfies(bk *bank, set int, lev level) bool {
 	base := set * l.cfg.Ways
 	switch lev {
@@ -616,6 +647,8 @@ func (l *LLC) setSatisfies(bk *bank, set int, lev level) bool {
 // NotInPrC and LikelyDead predicates are folded into one pass over the set
 // (setSatisfies would scan once per level); the LRU and MaxRRPV predicates
 // need policy state and keep their dedicated queries.
+//
+//ziv:noalloc
 func (l *LLC) updateSet(bk *bank, set int) {
 	if len(l.levels) == 0 {
 		return
@@ -651,6 +684,8 @@ func (l *LLC) updateSet(bk *bank, set int) {
 
 // invalidWay returns an invalid way in (bank, set) or -1. Full sets (the
 // steady state after warmup) answer from the per-set valid count.
+//
+//ziv:noalloc
 func (l *LLC) invalidWay(bk *bank, set int) int {
 	if int(bk.validCnt[set]) == l.cfg.Ways {
 		return -1

@@ -10,6 +10,8 @@ import (
 
 // pickRS selects the next relocation set from a PV, honouring the
 // SelectLowest ablation knob.
+//
+//ziv:noalloc
 func (l *LLC) pickRS(bk *bank, lev level) int {
 	if l.cfg.SelectLowest {
 		return bk.pvs[lev].Lowest()
@@ -69,6 +71,8 @@ func (l *LLC) oracleVictimIn(bk *bank, set int) (way int, nextUse uint64) {
 // If every PV in the home bank is empty, one-hop-first cross-bank relocation
 // is attempted. The flow guarantees that no eviction ever generates an
 // inclusion victim.
+//
+//ziv:noalloc
 func (l *LLC) zivFill(bk *bank, set int, addr uint64, dirty, inPrC bool, m policy.Meta, now uint64) FillOutcome {
 	if m.Pos > l.oracleNow {
 		l.oracleNow = m.Pos
@@ -164,6 +168,8 @@ func (l *LLC) zivFill(bk *bank, set int, addr uint64, dirty, inPrC bool, m polic
 // following the configured property's priority chain. Invalid ways are
 // handled by the caller. It returns -1 when the set holds no block that can
 // be evicted without inclusion victims.
+//
+//ziv:noalloc
 func (l *LLC) relocVictimWay(bk *bank, set int) int {
 	order := bk.pol.Rank(set)
 	base := set * l.cfg.Ways
@@ -213,6 +219,8 @@ func (l *LLC) relocVictimWay(bk *bank, set int) int {
 // into the relocation set (dst, rs) chosen at priority level lev, updates
 // its sparse-directory entry to the new location, and fills the new block
 // into the freed home way. Fig. 5's full flow.
+//
+//ziv:noalloc
 func (l *LLC) relocate(home *bank, homeSet, victimWay int, dst *bank, rs, dstWayOverride int, lev level,
 	addr uint64, dirty, inPrC bool, m policy.Meta, now uint64) FillOutcome {
 
@@ -340,6 +348,8 @@ func (l *LLC) relocate(home *bank, homeSet, victimWay int, dst *bank, rs, dstWay
 // Relocated state, reached through its freshly allocated directory entry;
 // the home set is left untouched. Only meaningful for privately cached
 // fills (a directory entry must exist to locate the block).
+//
+//ziv:noalloc
 func (l *LLC) fillRelocated(home, dst *bank, rs int, lev level, addr uint64, dirty bool, m policy.Meta, now uint64) FillOutcome {
 	_, ptr, ok := l.dir.Find(addr)
 	if !ok {

@@ -176,6 +176,10 @@ type Directory struct {
 }
 
 type slice struct {
+	// entries is the primary store. sidecarsync enforces that every
+	// whole-element write also refreshes the tag sidecar.
+	//
+	//ziv:mirror(tags)
 	entries []Entry // sets*ways
 	// tags mirrors entries for fast lookup: the tracked block address for a
 	// valid entry, tagNone otherwise.
@@ -239,7 +243,11 @@ func (d *Directory) setOf(blockAddr uint64) int {
 }
 
 // At returns the entry addressed by p (main array or overflow). It returns
-// nil for an overflow pointer whose entry has been freed.
+// nil for an overflow pointer whose entry has been freed. Writes through
+// it inherit the entries field's sidecar obligations.
+//
+//ziv:aliases(entries)
+//ziv:noalloc
 func (d *Directory) At(p Ptr) *Entry {
 	sl := &d.slices[p.Bank]
 	if p.Way < 0 {
@@ -250,6 +258,9 @@ func (d *Directory) At(p Ptr) *Entry {
 
 // Lookup finds the entry tracking blockAddr, returning the entry and its
 // pointer, or nil when the block is not tracked (i.e. not privately cached).
+//
+//ziv:aliases(entries)
+//ziv:noalloc
 func (d *Directory) Lookup(blockAddr uint64) (*Entry, Ptr) {
 	d.Stats.Lookups++
 	bank := d.SliceOf(blockAddr)
@@ -273,6 +284,9 @@ func (d *Directory) Lookup(blockAddr uint64) (*Entry, Ptr) {
 // Find locates the entry tracking blockAddr without updating replacement
 // state or lookup statistics (used by the LLC's internal relocation
 // bookkeeping, which in hardware rides on state the LLC already holds).
+//
+//ziv:aliases(entries)
+//ziv:noalloc
 func (d *Directory) Find(blockAddr uint64) (*Entry, Ptr, bool) {
 	bank := d.SliceOf(blockAddr)
 	set := d.setOf(blockAddr)
@@ -291,6 +305,8 @@ func (d *Directory) Find(blockAddr uint64) (*Entry, Ptr, bool) {
 
 // Tracked reports whether blockAddr is tracked (resident in some private
 // cache) without updating replacement state.
+//
+//ziv:noalloc
 func (d *Directory) Tracked(blockAddr uint64) bool {
 	bank := d.SliceOf(blockAddr)
 	set := d.setOf(blockAddr)

@@ -29,9 +29,19 @@ type coreState struct {
 	l2     *cache.Cache
 	l2meta []l2Meta
 
-	cycle  uint64
-	refIdx uint64 // references issued (warmup + measured)
-	done   bool   // finished its measured segment
+	// cycle is this core's local clock. Run keeps a contiguous copy in
+	// cycleMirror for the min-scan; sidecarsync makes every advance
+	// (step's += and its call sites) refresh that mirror.
+	//
+	//ziv:mirror(cycleMirror)
+	cycle uint64
+	// refIdx counts references issued (warmup + measured). The warmup
+	// bookkeeping in Run watches it through the notWarm countdown, which
+	// must be re-examined after every advance.
+	//
+	//ziv:mirror(notWarm)
+	refIdx uint64
+	done   bool // finished its measured segment
 
 	stats metrics.CoreStats
 }

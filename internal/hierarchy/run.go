@@ -109,29 +109,29 @@ func (m *Machine) Run() {
 	if m.warmupRefs > 0 {
 		notWarm = len(m.cores)
 	}
-	// cycles mirrors each core's local clock in one contiguous array: the
-	// per-step min-scan below touches a couple of cache lines instead of
-	// striding across the coreState structs. Only the stepped core's clock
-	// ever changes, so one write-back per step keeps it exact.
-	cycles := make([]uint64, len(m.cores))
+	// cycleMirror mirrors each core's local clock in one contiguous array:
+	// the per-step min-scan below touches a couple of cache lines instead
+	// of striding across the coreState structs. Only the stepped core's
+	// clock ever changes, so one write-back per step keeps it exact.
+	cycleMirror := make([]uint64, len(m.cores))
 	for i := range m.cores {
-		cycles[i] = m.cores[i].cycle
+		cycleMirror[i] = m.cores[i].cycle
 	}
 	for remaining > 0 {
 		// Min-cycle scheduling: the core furthest behind in time issues
 		// next, so slow (miss-heavy) cores issue fewer references per unit
 		// of global time. Ties go to the lowest core index.
 		ci := 0
-		min := cycles[0]
-		for i := 1; i < len(cycles); i++ {
-			if cy := cycles[i]; cy < min {
+		min := cycleMirror[0]
+		for i := 1; i < len(cycleMirror); i++ {
+			if cy := cycleMirror[i]; cy < min {
 				min = cy
 				ci = i
 			}
 		}
 		c := &m.cores[ci]
 		m.step(c)
-		cycles[ci] = c.cycle
+		cycleMirror[ci] = c.cycle
 		if !c.done && c.refIdx >= target {
 			c.done = true
 			remaining--
