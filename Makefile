@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif lint-baseline test race fuzz bench bench-quick ci
+.PHONY: all build vet lint lint-sarif lint-baseline test race fuzz bench bench-quick bench-compare obs-smoke ci
 
 all: ci
 
@@ -42,5 +42,18 @@ bench:
 # Fast smoke variant for CI: truncated reference counts, no speedup record.
 bench-quick:
 	$(GO) run ./cmd/zivbench -quick -o BENCH_quick.json
+
+# Diff a fresh full bench against the committed report; exits nonzero on a
+# >5% refs/s regression on any figure.
+bench-compare:
+	$(GO) run ./cmd/zivbench -o BENCH_new.json
+	$(GO) run ./cmd/zivbench -compare BENCH_figs.json BENCH_new.json
+
+# Tiny instrumented run + trace validation, mirroring CI's obs-smoke job.
+obs-smoke:
+	$(GO) run ./cmd/zivsim -fig fig1 -scale 32 -cores 2 -mixes 1 -homo 0 \
+		-warmup 1000 -refs 4000 -obs-interval 2000 -obs-events 4096 \
+		-obs-out obsout > /dev/null
+	$(GO) run ./cmd/zivreport -checktrace obsout
 
 ci: build vet lint test race

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// readReport loads one zivbench JSON report.
+func readReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
+}
+
+// figByID finds a figure in a report (reports are small; linear scan
+// keeps the comparison order slice-driven and deterministic).
+func figByID(rep Report, id string) (FigResult, bool) {
+	for _, f := range rep.Figures {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return FigResult{}, false
+}
+
+// compareReports prints the per-figure refs/s delta between two reports
+// and returns how many figures regressed by more than tolerance percent.
+// Figures present in only one report are noted but never counted as
+// regressions (the figure set may legitimately grow).
+func compareReports(oldRep, newRep Report, tolerance float64, w io.Writer) int {
+	fmt.Fprintf(w, "%-8s %14s %14s %9s\n", "figure", "old refs/s", "new refs/s", "delta")
+	regressions := 0
+	for _, nf := range newRep.Figures {
+		of, ok := figByID(oldRep, nf.ID)
+		if !ok {
+			fmt.Fprintf(w, "%-8s %14s %14.0f %9s\n", nf.ID, "-", nf.RefsPerSec, "new")
+			continue
+		}
+		if of.RefsPerSec <= 0 {
+			fmt.Fprintf(w, "%-8s %14s %14.0f %9s\n", nf.ID, "?", nf.RefsPerSec, "?")
+			continue
+		}
+		delta := (nf.RefsPerSec - of.RefsPerSec) / of.RefsPerSec * 100
+		mark := ""
+		if delta < -tolerance {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-8s %14.0f %14.0f %+8.1f%%%s\n", nf.ID, of.RefsPerSec, nf.RefsPerSec, delta, mark)
+	}
+	for _, of := range oldRep.Figures {
+		if _, ok := figByID(newRep, of.ID); !ok {
+			fmt.Fprintf(w, "%-8s %14.0f %14s %9s\n", of.ID, of.RefsPerSec, "-", "gone")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d figure(s) regressed more than %.0f%%\n", regressions, tolerance)
+	}
+	return regressions
+}

@@ -7,6 +7,10 @@
 // The headline metric is simulated memory references per wall-clock second
 // (refs/s): it normalizes for how much work each figure's configuration
 // matrix implies, unlike raw seconds.
+//
+// `zivbench -compare old.json new.json` diffs two reports per figure and
+// exits nonzero when any figure's refs/s regressed by more than
+// -tolerance percent (default 5) — CI's bench-smoke job gates on it.
 package main
 
 import (
@@ -57,11 +61,34 @@ type Report struct {
 
 func main() {
 	var (
-		out   = flag.String("o", "BENCH_figs.json", "output report path")
-		figs  = flag.String("figs", "fig1,fig8,fig11", "comma-separated experiment ids (or 'all')")
-		quick = flag.Bool("quick", false, "tiny workload for CI smoke runs (timings not comparable)")
+		out       = flag.String("o", "BENCH_figs.json", "output report path")
+		figs      = flag.String("figs", "fig1,fig8,fig11", "comma-separated experiment ids (or 'all')")
+		quick     = flag.Bool("quick", false, "tiny workload for CI smoke runs (timings not comparable)")
+		compare   = flag.Bool("compare", false, "compare two reports (zivbench -compare old.json new.json) instead of benchmarking")
+		tolerance = flag.Float64("tolerance", 5, "refs/s regression percent tolerated by -compare before exiting nonzero")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: zivbench -compare [-tolerance pct] old.json new.json")
+			os.Exit(2)
+		}
+		oldRep, err := readReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zivbench: %v\n", err)
+			os.Exit(1)
+		}
+		newRep, err := readReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zivbench: %v\n", err)
+			os.Exit(1)
+		}
+		if compareReports(oldRep, newRep, *tolerance, os.Stdout) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	opt := benchOptions()
 	if *quick {

@@ -1,13 +1,17 @@
 // Command zivreport converts the text output of `zivsim -fig ...` into
 // GitHub-flavoured markdown tables, for pasting into EXPERIMENTS.md or
-// issue reports.
+// issue reports, and renders/validates the observability artifacts of
+// `zivsim -obs-*`.
 //
 //	zivsim -fig all > results.txt
 //	zivreport results.txt > results.md
+//	zivreport -obs obsout/I-LRU-256KB-hetero.00.intervals.csv > intervals.md
+//	zivreport -checktrace obsout        # validate every *.trace.json
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -15,19 +19,44 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: zivreport <results.txt>")
-		os.Exit(2)
-	}
-	f, err := os.Open(os.Args[1])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "zivreport:", err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	if err := convert(f, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "zivreport:", err)
-		os.Exit(1)
+	obsCSV := flag.String("obs", "", "render an intervals CSV (from zivsim -obs-interval) as markdown")
+	checkPath := flag.String("checktrace", "", "validate Chrome trace JSON: a file, or a directory of *.trace.json")
+	flag.Parse()
+
+	switch {
+	case *obsCSV != "":
+		f, err := os.Open(*obsCSV)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zivreport:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := obsReport(f, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "zivreport:", err)
+			os.Exit(1)
+		}
+	case *checkPath != "":
+		n, err := checkTraces(*checkPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zivreport:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checktrace: %d trace(s) ok\n", n)
+	default:
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: zivreport [-obs intervals.csv | -checktrace path | results.txt]")
+			os.Exit(2)
+		}
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zivreport:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := convert(f, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "zivreport:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,215 @@
+// Observability reporting: `zivreport -obs` renders an interval CSV
+// (written by `zivsim -obs-interval`) as markdown tables, and
+// `zivreport -checktrace` validates Chrome trace JSON against the
+// minimal schema Perfetto needs — CI's obs-smoke job gates on it.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"zivsim/internal/obs"
+)
+
+// Column indices of obs.IntervalCSVHeader.
+const (
+	colScope = iota
+	colInterval
+	colID
+	colStartCycle
+	colEndCycle
+	colRefs
+	colInstructions
+	colCycles
+	colIPC
+	colL1Miss
+	colL2Miss
+	colLLCMiss
+	colInclVictims
+	colDirInclVictims
+	colRelocations
+	colCrossBankRelocs
+	colAlternateVictims
+	colEvictions
+	colInPrCEvictions
+	colDirEvictions
+	colDirSpills
+	colDRAMReads
+	colDRAMWrites
+	colQueueDepth
+	numCols
+)
+
+// obsReport renders one intervals CSV as three markdown tables: the
+// machine-wide interval series, the per-core IPC matrix, and the
+// whole-run relocation-depth histogram.
+func obsReport(r io.Reader, w io.Writer) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] != obs.IntervalCSVHeader {
+		return fmt.Errorf("not an intervals CSV (header mismatch)")
+	}
+
+	var machine, core, depth [][]string
+	for i, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		if len(f) != numCols {
+			return fmt.Errorf("line %d: %d columns, want %d", i+2, len(f), numCols)
+		}
+		switch f[colScope] {
+		case "machine":
+			machine = append(machine, f)
+		case "core":
+			core = append(core, f)
+		case "depth":
+			depth = append(depth, f)
+		case "bank":
+			// Bank rows feed the Perfetto counter tracks; the markdown
+			// report keeps to the machine/core/depth views.
+		default:
+			return fmt.Errorf("line %d: unknown scope %q", i+2, f[colScope])
+		}
+	}
+
+	fmt.Fprintf(w, "### Machine intervals\n\n")
+	fmt.Fprintf(w, "| interval | cycles | relocations | cross-bank | alternate victims | evictions | dir evictions | dram reads | dram writes | queue |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, f := range machine {
+		fmt.Fprintf(w, "| %s | %s-%s | %s | %s | %s | %s | %s | %s | %s | %s |\n",
+			f[colInterval], f[colStartCycle], f[colEndCycle],
+			f[colRelocations], f[colCrossBankRelocs], f[colAlternateVictims],
+			f[colEvictions], f[colDirEvictions],
+			f[colDRAMReads], f[colDRAMWrites], f[colQueueDepth])
+	}
+
+	// The per-core matrix: core rows arrive interval-major (every core of
+	// interval 0, then interval 1, ...), so one pass groups them.
+	maxCore := -1
+	for _, f := range core {
+		if id, err := strconv.Atoi(f[colID]); err == nil && id > maxCore {
+			maxCore = id
+		}
+	}
+	if maxCore >= 0 {
+		fmt.Fprintf(w, "\n### Per-core IPC\n\n")
+		fmt.Fprintf(w, "| interval |")
+		for c := 0; c <= maxCore; c++ {
+			fmt.Fprintf(w, " core%d |", c)
+		}
+		fmt.Fprintf(w, "\n|%s\n", strings.Repeat("---|", maxCore+2))
+		for i := 0; i < len(core); i += maxCore + 1 {
+			row := core[i : i+min(maxCore+1, len(core)-i)]
+			fmt.Fprintf(w, "| %s |", row[0][colInterval])
+			for _, f := range row {
+				fmt.Fprintf(w, " %s |", f[colIPC])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if len(depth) > 0 {
+		var max uint64
+		for _, f := range depth {
+			if n, err := strconv.ParseUint(f[colRelocations], 10, 64); err == nil && n > max {
+				max = n
+			}
+		}
+		fmt.Fprintf(w, "\n### Relocation-depth histogram\n\n")
+		fmt.Fprintf(w, "| depth | blocks | |\n|---|---|---|\n")
+		for _, f := range depth {
+			n, err := strconv.ParseUint(f[colRelocations], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad depth count %q: %v", f[colRelocations], err)
+			}
+			bar := int(n * 40 / max)
+			if bar == 0 && n > 0 {
+				bar = 1
+			}
+			label := f[colID]
+			if label == strconv.Itoa(obs.MaxRelocDepth) {
+				label += "+"
+			}
+			fmt.Fprintf(w, "| %s | %d | %s |\n", label, n, strings.Repeat("#", bar))
+		}
+	}
+	return nil
+}
+
+// checkedEvent is the minimal trace_event shape checkTrace validates.
+// Pointer fields distinguish "absent" from zero.
+type checkedEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Pid  *float64 `json:"pid"`
+	Tid  *float64 `json:"tid"`
+}
+
+// checkTraces validates path — one trace file, or a directory holding
+// *.trace.json — and returns how many traces passed.
+func checkTraces(path string) (int, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	files := []string{path}
+	if info.IsDir() {
+		files, err = filepath.Glob(filepath.Join(path, "*.trace.json"))
+		if err != nil {
+			return 0, err
+		}
+		if len(files) == 0 {
+			return 0, fmt.Errorf("%s: no *.trace.json files", path)
+		}
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return 0, err
+		}
+		if err := checkTrace(data); err != nil {
+			return 0, fmt.Errorf("%s: %v", f, err)
+		}
+	}
+	return len(files), nil
+}
+
+// checkTrace validates one Chrome trace JSON document: a non-empty
+// traceEvents array whose entries carry a name, a known phase, numeric
+// pid/tid, and a timestamp on every non-metadata event.
+func checkTrace(data []byte) error {
+	var f struct {
+		TraceEvents []checkedEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return err
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("empty traceEvents")
+	}
+	for i, ev := range f.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("event %d: missing name", i)
+		}
+		switch ev.Ph {
+		case "M", "C", "i", "B", "E", "X":
+		default:
+			return fmt.Errorf("event %d (%s): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return fmt.Errorf("event %d (%s): missing pid/tid", i, ev.Name)
+		}
+		if ev.Ph != "M" && ev.Ts == nil {
+			return fmt.Errorf("event %d (%s): missing ts", i, ev.Name)
+		}
+	}
+	return nil
+}

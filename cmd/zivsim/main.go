@@ -9,6 +9,9 @@
 //	zivsim -fig fig11 -scale 1 -mixes 36 -homo 36   # paper-fidelity run
 //	zivsim -fig all -cache       # persist results; reruns are instant
 //	zivsim -fig fig8 -cpuprofile cpu.pb.gz          # profile the run
+//	zivsim -fig fig1 -obs-interval 5000 -obs-events 4096 -obs-out obsout
+//	                             # per-run Perfetto traces, event dumps, interval CSVs
+//	zivsim -fig all -progress    # live run counter + ETA on stderr
 //	zivsim -config               # print the simulated machine (Table I)
 package main
 
@@ -44,6 +47,11 @@ func main() {
 
 		useCache   = flag.Bool("cache", false, "persist simulation results under -cachedir and reuse them")
 		cacheDir   = flag.String("cachedir", ".zivcache", "directory for the persistent result cache")
+		obsIval    = flag.Uint64("obs-interval", 0, "sample machine counters every N simulated cycles (0 = off)")
+		obsEvents  = flag.Int("obs-events", 0, "capture the last N simulator events per run (0 = off)")
+		obsOut     = flag.String("obs-out", "obsout", "directory for observability artifacts (trace/NDJSON/CSV)")
+		obsMaxIv   = flag.Int("obs-max-intervals", 4096, "max sampled intervals per run")
+		progress   = flag.Bool("progress", false, "live run progress on stderr")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
@@ -123,6 +131,19 @@ func main() {
 	if *useCache {
 		opt.CacheDir = *cacheDir
 	}
+	if *obsIval > 0 || *obsEvents > 0 {
+		opt.Obs = &harness.ObsOptions{
+			IntervalCycles: *obsIval,
+			MaxIntervals:   *obsMaxIv,
+			EventCapacity:  *obsEvents,
+			OutDir:         *obsOut,
+		}
+	}
+	var prog *harness.Progress
+	if *progress {
+		prog = harness.NewProgress(os.Stderr, time.Now)
+		opt.Progress = prog
+	}
 
 	var toRun []harness.Experiment
 	if *figID == "all" {
@@ -139,6 +160,9 @@ func main() {
 	for _, e := range toRun {
 		start := time.Now()
 		tab := e.Run(opt)
+		if prog != nil {
+			prog.Finish()
+		}
 		if *csv {
 			fmt.Print(tab.CSV())
 		} else {

@@ -13,6 +13,11 @@
 // Sinks:
 //   - writes to a field of a *Stats struct (any named type whose name
 //     ends in "Stats");
+//   - writes to a field of a *Sample struct (interval-sample records in
+//     internal/obs) — observability artifacts must replay byte-stable;
+//   - arguments of the internal/obs Write* exporters (Chrome trace,
+//     NDJSON, interval CSV) — trace files are replay artifacts, so only
+//     cycle-domain data may reach them;
 //   - formatted output (fmt.Print*/Fprint*) — table and golden report
 //     paths must be byte-stable;
 //   - cryptographic digests (sha256.Sum256, hash.Write) — the .zivcache
@@ -278,14 +283,22 @@ func (a *analyzer) assign(as *ast.AssignStmt, env dataflow.Taint, report bool) {
 }
 
 // store writes taint m to an assignment target. Identifier targets
-// update the environment; Stats-field targets are determinism sinks.
+// update the environment; fields of *Stats and *Sample structs are
+// determinism sinks (golden tables read the former, observability
+// artifacts the latter).
 func (a *analyzer) store(lhs ast.Expr, m dataflow.Mask, env dataflow.Taint, report bool) {
 	switch lhs := lhs.(type) {
 	case *ast.Ident:
 		a.setVar(env, lhs, m)
 	case *ast.SelectorExpr:
-		if report && isStatsField(a.info, lhs) {
+		if !report {
+			return
+		}
+		switch {
+		case isFieldOfSuffix(a.info, lhs, "Stats"):
 			a.sink(lhs.Pos(), m, "a Stats field", report)
+		case isFieldOfSuffix(a.info, lhs, "Sample"):
+			a.sink(lhs.Pos(), m, "an interval-sample counter", report)
 		}
 	}
 }
@@ -430,6 +443,16 @@ func (a *analyzer) callTaint(call *ast.CallExpr, env dataflow.Taint, report bool
 	if isHashWrite(fn) {
 		m := allArgs()
 		a.sink(call.Pos(), m, "a result-cache digest", report)
+		return 0
+	}
+	if isObsExporter(fn) {
+		// Exporters serialize cycle-domain data into replay-stable
+		// artifacts (Chrome traces, NDJSON, CSV): a nondeterministic
+		// argument would make two identical runs produce different files.
+		for _, arg := range call.Args {
+			m := a.exprTaint(arg, env, false)
+			a.sink(arg.Pos(), m, "a trace exporter", report)
+		}
 		return 0
 	}
 
@@ -619,9 +642,20 @@ func isPointerIdentity(info *types.Info, e *ast.BinaryExpr) bool {
 	return isPtr(e.X) && isPtr(e.Y)
 }
 
-// isStatsField matches writes to fields of any named struct type whose
-// name ends in "Stats".
-func isStatsField(info *types.Info, sel *ast.SelectorExpr) bool {
+// isObsExporter matches the exported Write* entry points of the
+// observability package (WriteChromeTrace, WriteNDJSON,
+// WriteIntervalCSV): every argument is a trace-exporter sink.
+func isObsExporter(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "internal/obs") &&
+		strings.HasPrefix(fn.Name(), "Write")
+}
+
+// isFieldOfSuffix matches writes to fields of any named struct type
+// whose name ends in suffix ("Stats", "Sample").
+func isFieldOfSuffix(info *types.Info, sel *ast.SelectorExpr, suffix string) bool {
 	s, ok := info.Selections[sel]
 	if !ok || s.Kind() != types.FieldVal {
 		return false
@@ -641,5 +675,5 @@ func isStatsField(info *types.Info, sel *ast.SelectorExpr) bool {
 			return false
 		}
 	}
-	return strings.HasSuffix(named.Obj().Name(), "Stats")
+	return strings.HasSuffix(named.Obj().Name(), suffix)
 }

@@ -13,5 +13,6 @@ func TestDetflow(t *testing.T) {
 		"zivsim/internal/dfa",
 		"zivsim/internal/dfb",
 		"zivsim/internal/dfc",
+		"zivsim/internal/obs",
 	)
 }

@@ -1,0 +1,47 @@
+// Package obs mirrors the observability package's shapes for detflow's
+// obs-specific sinks: writes to *Sample fields and arguments of the
+// Write* exporter entry points (matched by import path suffix
+// "internal/obs", which this fixture shares with the real package).
+package obs
+
+import (
+	"io"
+	"time"
+)
+
+// IntervalSample matches detflow's sample-sink naming convention.
+type IntervalSample struct {
+	Relocations uint64
+	Label       string
+}
+
+// WriteTrace stands in for the exporters (WriteChromeTrace, WriteNDJSON,
+// WriteIntervalCSV): every argument is a trace-exporter sink.
+func WriteTrace(w io.Writer, stamp int64) {
+	_ = w
+	_ = stamp
+}
+
+// accumulate pins the commutative exemption: integer += into a sample
+// counter is order-free (addition commutes), so ranging over the map is
+// harmless and no diagnostic fires — the same reasoning that exempts
+// Stats accumulation.
+func accumulate(s *IntervalSample, m map[uint64]uint64) {
+	for _, v := range m {
+		s.Relocations += v
+	}
+}
+
+// overwrite replaces the counter instead of accumulating: the last
+// iteration wins, so map order is visible in the recorded sample.
+func overwrite(s *IntervalSample, m map[uint64]uint64) {
+	for _, v := range m {
+		s.Relocations = v // want `map-order-dependent value flows into an interval-sample counter`
+	}
+}
+
+// exportWallClock feeds wall-clock time to an exporter: the artifact
+// would differ between identical runs.
+func exportWallClock(w io.Writer) {
+	WriteTrace(w, time.Now().UnixNano()) // want `value-nondeterministic value flows into a trace exporter`
+}

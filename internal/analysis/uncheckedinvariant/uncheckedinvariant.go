@@ -46,11 +46,17 @@ var readOnly = map[string]map[string]bool{
 		"Config": true, "Sets": true, "SizeBytes": true, "BankOf": true,
 		"SetOf": true, "BlockAt": true, "Probe": true, "ValidCount": true,
 		"ForEachValid": true, "CheckInvariants": true, "RelocTargetSkew": true,
+		// SetObserver stores a probe pointer and RelocationsLandedByBank
+		// sums counters: neither touches simulated cache state (the
+		// golden byte-identity tests pin that obs attachment changes no
+		// decision), so neither needs a DebugChecks path.
+		"SetObserver": true, "RelocationsLandedByBank": true,
 	},
 	"Directory": {
 		"Config": true, "SliceOf": true, "At": true, "Find": true,
 		"Tracked": true, "OverflowPtr": true, "OverflowCount": true,
 		"ValidCount": true, "ForEach": true,
+		"SetObserver": true,
 	},
 }
 

@@ -29,6 +29,9 @@ type Relocation struct {
 	Level        string // priority level that supplied the relocation set
 	CrossBank    bool
 	ReRelocation bool // the relocated block was already in Relocated state
+	// Depth is the block's relocation-chain length after this move (1 for a
+	// first relocation), feeding the observability depth histogram.
+	Depth uint8
 }
 
 // FillOutcome reports everything a fill did. It is a plain value — returning

@@ -6,6 +6,7 @@ import (
 
 	"zivsim/internal/char"
 	"zivsim/internal/directory"
+	"zivsim/internal/obs"
 	"zivsim/internal/policy"
 )
 
@@ -175,6 +176,10 @@ type Block struct {
 	// DirPtr locates the sparse-directory entry of a relocated block
 	// (§III-C3); it is the content of the repurposed tag.
 	DirPtr directory.Ptr
+	// RelocDepth counts how many times this block has been relocated since
+	// its fill (saturating). Observability metadata only: no victim-
+	// selection decision reads it.
+	RelocDepth uint8
 }
 
 // Config describes an LLC instance.
@@ -282,6 +287,9 @@ type LLC struct {
 	// the policy-owned slice directly. One reusable buffer avoids a per-miss
 	// allocation.
 	rankScratch []int
+	// obs is the attached event ring, nil when observability is off; every
+	// probe point guards on it, so the detached cost is one branch.
+	obs *obs.Ring
 
 	Stats Stats
 }
@@ -398,6 +406,23 @@ func New(cfg Config, dir *directory.Directory) *LLC {
 		l.cfg.OracleCandidates = 8
 	}
 	return l
+}
+
+// SetObserver attaches (or, with nil, detaches) the event ring the ZIV
+// probe points record into.
+func (l *LLC) SetObserver(r *obs.Ring) { l.obs = r }
+
+// RelocationsLandedByBank fills dst (len = bank count) with the
+// cumulative number of relocations that landed in each bank, for the
+// interval sampler's per-bank track.
+func (l *LLC) RelocationsLandedByBank(dst []uint64) {
+	for i := range l.banks {
+		var n uint64
+		for _, c := range l.banks[i].relocTargets {
+			n += uint64(c)
+		}
+		dst[i] = n
+	}
 }
 
 // Config returns the LLC configuration.

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"zivsim/internal/directory"
+	"zivsim/internal/obs"
 	"zivsim/internal/policy"
 )
 
@@ -110,6 +111,9 @@ func (l *LLC) zivFill(bk *bank, set int, addr uint64, dirty, inPrC bool, m polic
 			ev := l.evictWay(bk, set, alt)
 			l.fillWay(bk, set, alt, addr, dirty, inPrC, m)
 			l.Stats.AlternateVictims++
+			if l.obs != nil {
+				l.obs.Record(obs.EvInclusionAverted, -1, int16(bk.id), addr, uint64(lev))
+			}
 			return FillOutcome{
 				Loc:             directory.Location{Bank: bk.id, Set: set, Way: alt},
 				Evicted:         ev,
@@ -226,6 +230,14 @@ func (l *LLC) relocate(home *bank, homeSet, victimWay int, dst *bank, rs, dstWay
 
 	vb := home.blocks[homeSet*l.cfg.Ways+victimWay] // copy out the victim
 	reReloc := vb.Relocated
+	depth := vb.RelocDepth
+	if depth < ^uint8(0) {
+		depth++
+	}
+	if l.obs != nil {
+		l.obs.Record(obs.EvRelocBegin, -1, int16(home.id), vb.Addr, uint64(lev))
+		l.obs.Record(obs.EvRelocSetSelect, -1, int16(dst.id), uint64(rs), uint64(lev))
+	}
 
 	// Locate the victim's directory entry: a relocated block carries the
 	// pointer in its repurposed tag; a first-time relocation looks the entry
@@ -274,12 +286,13 @@ func (l *LLC) relocate(home *bank, homeSet, victimWay int, dst *bank, rs, dstWay
 	// Install the relocated block. The insertion protects it (MRU/RRPV 0)
 	// without predictor training: a relocation is not a program access.
 	dst.blocks[rs*l.cfg.Ways+dstWay] = Block{
-		Valid:     true,
-		Dirty:     vb.Dirty,
-		Relocated: true,
-		Addr:      vb.Addr,
-		DirPtr:    ptr,
-		EvictCore: -1,
+		Valid:      true,
+		Dirty:      vb.Dirty,
+		Relocated:  true,
+		Addr:       vb.Addr,
+		DirPtr:     ptr,
+		EvictCore:  -1,
+		RelocDepth: depth,
 	}
 	dst.tags[rs*l.cfg.Ways+dstWay] = tagNone // relocated blocks are invisible to lookups
 	dst.validCnt[rs]++
@@ -328,6 +341,10 @@ func (l *LLC) relocate(home *bank, homeSet, victimWay int, dst *bank, rs, dstWay
 	// Finally, fill the new block into the freed home way.
 	l.fillWay(home, homeSet, victimWay, addr, dirty, inPrC, m)
 
+	if l.obs != nil {
+		l.obs.Record(obs.EvRelocEnd, -1, int16(dst.id), vb.Addr, uint64(depth))
+	}
+
 	return FillOutcome{
 		Loc:     directory.Location{Bank: home.id, Set: homeSet, Way: victimWay},
 		Evicted: evicted,
@@ -339,6 +356,7 @@ func (l *LLC) relocate(home *bank, homeSet, victimWay int, dst *bank, rs, dstWay
 			Level:        lev.String(),
 			CrossBank:    cross,
 			ReRelocation: reReloc,
+			Depth:        depth,
 		},
 	}
 }
@@ -355,6 +373,10 @@ func (l *LLC) fillRelocated(home, dst *bank, rs int, lev level, addr uint64, dir
 	if !ok {
 		panic(fmt.Sprintf("core: FillCrossBank for untracked block %#x", addr))
 	}
+	if l.obs != nil {
+		l.obs.Record(obs.EvRelocBegin, -1, int16(home.id), addr, uint64(lev))
+		l.obs.Record(obs.EvRelocSetSelect, -1, int16(dst.id), uint64(rs), uint64(lev))
+	}
 	var evicted Evicted
 	var dstWay int
 	if lev == levInvalid {
@@ -364,12 +386,13 @@ func (l *LLC) fillRelocated(home, dst *bank, rs int, lev level, addr uint64, dir
 		evicted = l.evictWay(dst, rs, dstWay)
 	}
 	dst.blocks[rs*l.cfg.Ways+dstWay] = Block{
-		Valid:     true,
-		Dirty:     dirty,
-		Relocated: true,
-		Addr:      addr,
-		DirPtr:    ptr,
-		EvictCore: -1,
+		Valid:      true,
+		Dirty:      dirty,
+		Relocated:  true,
+		Addr:       addr,
+		DirPtr:     ptr,
+		EvictCore:  -1,
+		RelocDepth: 1,
 	}
 	dst.tags[rs*l.cfg.Ways+dstWay] = tagNone
 	dst.validCnt[rs]++
@@ -383,6 +406,9 @@ func (l *LLC) fillRelocated(home, dst *bank, rs int, lev level, addr uint64, dir
 	l.Stats.Relocations++
 	l.Stats.RelocationsByLevel[lev]++
 	l.Stats.CrossBankRelocations++
+	if l.obs != nil {
+		l.obs.Record(obs.EvRelocEnd, -1, int16(dst.id), addr, 1)
+	}
 	return FillOutcome{
 		Loc:     to,
 		Evicted: evicted,
@@ -393,6 +419,7 @@ func (l *LLC) fillRelocated(home, dst *bank, rs int, lev level, addr uint64, dir
 			To:        to,
 			Level:     lev.String(),
 			CrossBank: true,
+			Depth:     1,
 		},
 	}
 }

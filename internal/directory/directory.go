@@ -16,6 +16,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"zivsim/internal/obs"
 	"zivsim/internal/policy"
 )
 
@@ -171,6 +172,9 @@ type Directory struct {
 	// overflowLive tracks the live overflow population across all slices so
 	// the MaxOverflow high-water update is O(1) per spill.
 	overflowLive int
+	// obs is the attached event ring, nil when observability is off; every
+	// probe point guards on it, so the detached cost is one branch.
+	obs *obs.Ring
 
 	Stats Stats
 }
@@ -229,6 +233,10 @@ func New(cfg Config) *Directory {
 	}
 	return d
 }
+
+// SetObserver attaches (or, with nil, detaches) the event ring the
+// directory probe points record into.
+func (d *Directory) SetObserver(r *obs.Ring) { d.obs = r }
 
 // Config returns the directory configuration.
 func (d *Directory) Config() Config { return d.cfg }
@@ -368,8 +376,18 @@ func (d *Directory) Allocate(blockAddr uint64, core int, st State) (p Ptr, evict
 			if d.overflowLive > d.Stats.MaxOverflow {
 				d.Stats.MaxOverflow = d.overflowLive
 			}
+			if d.obs != nil {
+				arg := uint64(0)
+				if victim.Relocated {
+					arg = 1
+				}
+				d.obs.Record(obs.EvDirPtrUpdate, -1, int16(bank), victim.Addr, arg)
+			}
 		} else {
 			evicted = victim
+			if d.obs != nil {
+				d.obs.Record(obs.EvDirEviction, -1, int16(bank), victim.Addr, uint64(victim.Sharers.Count()))
+			}
 		}
 	}
 	e := &sl.entries[base+way]

@@ -130,6 +130,18 @@ func (m *Memory) Access(blockAddr uint64, write bool, now uint64) uint64 {
 	return lat
 }
 
+// QueueDepth returns the number of banks still busy at CPU cycle now — an
+// instantaneous congestion measure for the observability interval sampler.
+func (m *Memory) QueueDepth(now uint64) int {
+	n := 0
+	for _, b := range m.busyUntil {
+		if b > now {
+			n++
+		}
+	}
+	return n
+}
+
 // RowHitRate returns the fraction of accesses that hit an open row.
 func (s Stats) RowHitRate() float64 {
 	total := s.RowHits + s.RowMisses

@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// cacheTestOptions is a minimal single-job configuration for disk-cache
+// tests.
+func cacheTestOptions(dir string) Options {
+	o := DefaultOptions()
+	o.Scale = 64
+	o.Cores = 2
+	o.HeteroMixes = 0
+	o.HomoMixes = 1
+	o.Warmup = 500
+	o.Measure = 2000
+	o.Parallelism = 1
+	o.CacheDir = dir
+	return o
+}
+
+// isolatedRunner bypasses the process-global runner memo so each test
+// run exercises the disk path, not the in-memory one.
+func isolatedRunner(opt Options) *runner {
+	return &runner{opt: opt, results: map[string]Result{}}
+}
+
+func cacheTestJob(o Options) (job, int) {
+	s := baselineSpec()
+	return job{cfgLabel: s.label, cfg: s.config(o), mix: o.mixes()[0]}, kb256 / o.Scale
+}
+
+// runCacheJob executes the single test job on a fresh runner and returns
+// its result.
+func runCacheJob(t *testing.T, opt Options) Result {
+	t.Helper()
+	r := isolatedRunner(opt)
+	j, baseL2 := cacheTestJob(opt)
+	r.runAll([]job{j}, baseL2)
+	return r.get(j.cfgLabel, j.mix.Name)
+}
+
+// cacheFile returns the single entry the test job stores.
+func cacheFile(t *testing.T, opt Options) string {
+	t.Helper()
+	r := isolatedRunner(opt)
+	j, baseL2 := cacheTestJob(opt)
+	return filepath.Join(opt.CacheDir, r.diskKey(j, baseL2)+".json")
+}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	opt := cacheTestOptions(t.TempDir())
+	want := runCacheJob(t, opt)
+
+	path := cacheFile(t, opt)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no cache entry written: %v", err)
+	}
+
+	r := isolatedRunner(opt)
+	j, baseL2 := cacheTestJob(opt)
+	got, ok := r.diskLoad(j, baseL2)
+	if !ok {
+		t.Fatal("diskLoad missed a freshly stored entry")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("cached result differs from computed result")
+	}
+}
+
+// TestDiskCacheTruncatedEntry: a torn/truncated entry must fall through
+// to a recompute with the correct result, never an error.
+func TestDiskCacheTruncatedEntry(t *testing.T) {
+	opt := cacheTestOptions(t.TempDir())
+	want := runCacheJob(t, opt)
+
+	path := cacheFile(t, opt)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := isolatedRunner(opt)
+	j, baseL2 := cacheTestJob(opt)
+	if _, ok := r.diskLoad(j, baseL2); ok {
+		t.Fatal("diskLoad accepted a truncated entry")
+	}
+	got := runCacheJob(t, opt) // recompute + re-store
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("recomputed result differs after truncated-entry miss")
+	}
+	if fresh, err := os.ReadFile(path); err != nil || len(fresh) != len(data) {
+		t.Fatalf("recompute did not restore the entry (err %v, %d bytes, want %d)", err, len(fresh), len(data))
+	}
+}
+
+// TestDiskCacheVersionMismatch: an entry from another simulator revision
+// must be ignored.
+func TestDiskCacheVersionMismatch(t *testing.T) {
+	opt := cacheTestOptions(t.TempDir())
+	want := runCacheJob(t, opt)
+
+	path := cacheFile(t, opt)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c cachedResult
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatal(err)
+	}
+	c.Version = "zivsim-results-v0-ancient"
+	stale, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := isolatedRunner(opt)
+	j, baseL2 := cacheTestJob(opt)
+	if _, ok := r.diskLoad(j, baseL2); ok {
+		t.Fatal("diskLoad accepted a version-mismatched entry")
+	}
+	if got := runCacheJob(t, opt); !reflect.DeepEqual(got, want) {
+		t.Fatal("recomputed result differs after version-mismatch miss")
+	}
+}
+
+// TestDiskCacheBadKey: an entry filed under the wrong (non-key) name is
+// invisible to lookups — the job recomputes and stores under the correct
+// SHA-256 key.
+func TestDiskCacheBadKey(t *testing.T) {
+	opt := cacheTestOptions(t.TempDir())
+	seed := cacheTestOptions(t.TempDir())
+	want := runCacheJob(t, seed)
+
+	// Plant the (valid) entry under a garbage key in the empty cache dir.
+	data, err := os.ReadFile(cacheFile(t, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bogus := filepath.Join(opt.CacheDir, strings.Repeat("ab", 32)+".json")
+	if err := os.WriteFile(bogus, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := isolatedRunner(opt)
+	j, baseL2 := cacheTestJob(opt)
+	if _, ok := r.diskLoad(j, baseL2); ok {
+		t.Fatal("diskLoad found an entry despite the wrong key")
+	}
+	if got := runCacheJob(t, opt); !reflect.DeepEqual(got, want) {
+		t.Fatal("recomputed result differs with a mis-keyed cache")
+	}
+	if _, err := os.Stat(cacheFile(t, opt)); err != nil {
+		t.Fatalf("recompute did not store under the correct key: %v", err)
+	}
+}

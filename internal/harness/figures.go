@@ -472,12 +472,12 @@ func mtTable(o Options, pol hierarchy.PolicyKind) *Table {
 	for _, name := range workload.MTNames() {
 		// Baseline: I-LRU on the same machine geometry.
 		baseCfg, baseGens := mtConfig(o, name, hierarchy.PolicyLRU, famILRU)
-		base := runOne(baseCfg, baseGens, o.Warmup, o.Measure)
+		base := runOne(baseCfg, baseGens, o.Warmup, o.Measure, nil)
 		baseTP := metrics.Throughput(base.Cores)
 		row := Row{Label: name}
 		for _, f := range fams {
 			cfg, gens := mtConfig(o, name, pol, f)
-			r := runOne(cfg, gens, o.Warmup, o.Measure)
+			r := runOne(cfg, gens, o.Warmup, o.Measure, nil)
 			row.Values = append(row.Values, metrics.Ratio(metrics.Throughput(r.Cores), baseTP))
 		}
 		t.Rows = append(t.Rows, row)

@@ -18,6 +18,7 @@ import (
 	"zivsim/internal/energy"
 	"zivsim/internal/hierarchy"
 	"zivsim/internal/metrics"
+	"zivsim/internal/obs"
 	"zivsim/internal/trace"
 	"zivsim/internal/workload"
 )
@@ -51,6 +52,16 @@ type Options struct {
 	// processes. Neither CacheDir nor Parallelism affects simulation
 	// results, so both are excluded from cache keys.
 	CacheDir string
+	// Obs, when non-nil, attaches the observability layer to every
+	// simulation and writes one artifact set per job under Obs.OutDir.
+	// Observability never changes simulation results (the golden tests pin
+	// that), so it is excluded from cache keys — but artifact production
+	// needs real runs, so obs runs bypass the disk-cache read path.
+	Obs *ObsOptions `json:"-"`
+	// Progress, when non-nil, receives live run progress. It reports in
+	// the wall-clock domain and writes only to its configured sink
+	// (stderr), never into results.
+	Progress *Progress `json:"-"`
 }
 
 // DefaultOptions returns laptop-scale settings.
@@ -97,9 +108,13 @@ type Result struct {
 	TotalDirIncl uint64
 }
 
-// runOne simulates one (config, generators) pair.
-func runOne(cfg hierarchy.Config, gens []trace.Generator, warmup, measure int) Result {
+// runOne simulates one (config, generators) pair. o, when non-nil, is
+// attached as the machine's observability layer for the run.
+func runOne(cfg hierarchy.Config, gens []trace.Generator, warmup, measure int, o *obs.Observer) Result {
 	m := hierarchy.New(cfg, gens, warmup, measure)
+	if o != nil {
+		m.SetObserver(o)
+	}
 	m.Run()
 	simulatedRefs.Add(uint64(len(gens)) * uint64(warmup+measure))
 	cores := m.CoreStats()
@@ -163,6 +178,8 @@ func newRunner(opt Options) *runner {
 func (o Options) normalized() Options {
 	o.Parallelism = 0
 	o.CacheDir = ""
+	o.Obs = nil
+	o.Progress = nil
 	return o
 }
 
@@ -219,13 +236,23 @@ func (r *runner) runAll(jobs []job, baseL2 int) {
 			todo = append(todo, j)
 		}
 	}
-	if r.opt.CacheDir != "" {
+	if p := r.opt.Progress; p != nil {
+		for _, j := range todo {
+			p.AddJob(j.cost())
+		}
+	}
+	// Observability artifacts come from real runs, so obs runs skip the
+	// disk-cache read path (stores still happen: results stay valid).
+	if r.opt.CacheDir != "" && r.opt.Obs == nil {
 		rest := todo[:0]
 		for _, j := range todo {
 			if res, ok := r.diskLoad(j, baseL2); ok {
 				r.mu.Lock()
 				r.results[r.key(j.cfgLabel, j.mix.Name)] = res
 				r.mu.Unlock()
+				if p := r.opt.Progress; p != nil {
+					p.JobDone(j.cost(), 0, true)
+				}
 				continue
 			}
 			rest = append(rest, j)
@@ -260,12 +287,26 @@ func (r *runner) runAll(jobs []job, baseL2 int) {
 				j := todo[i]
 				p := paramsFor(j.cfg, baseL2)
 				gens := workload.BuildMix(j.mix, p, r.opt.Seed)
-				res := runOne(j.cfg, gens, r.opt.Warmup, r.opt.Measure)
+				var o *obs.Observer
+				if oo := r.opt.Obs; oo != nil {
+					o = obs.New(j.cfg.Cores, j.cfg.LLCBanks, obs.Config{
+						IntervalCycles: oo.IntervalCycles,
+						MaxIntervals:   oo.MaxIntervals,
+						EventCapacity:  oo.EventCapacity,
+					})
+				}
+				res := runOne(j.cfg, gens, r.opt.Warmup, r.opt.Measure, o)
 				r.mu.Lock()
 				r.results[r.key(j.cfgLabel, j.mix.Name)] = res
 				r.mu.Unlock()
 				if r.opt.CacheDir != "" {
 					r.diskStore(j, baseL2, res)
+				}
+				if o != nil {
+					r.exportObs(j, o)
+				}
+				if p := r.opt.Progress; p != nil {
+					p.JobDone(j.cost(), uint64(len(gens))*uint64(r.opt.Warmup+r.opt.Measure), false)
 				}
 			}
 		}()

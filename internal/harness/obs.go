@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"zivsim/internal/obs"
+)
+
+// ObsOptions configures per-job observability artifacts.
+type ObsOptions struct {
+	// IntervalCycles is the sampling period in simulated cycles; 0 disables
+	// the interval sampler (and the intervals CSV).
+	IntervalCycles uint64
+	// MaxIntervals caps the preallocated sample buffers (0 = the obs
+	// package default).
+	MaxIntervals int
+	// EventCapacity sizes the event ring buffer; 0 disables event capture
+	// (and the trace/NDJSON artifacts).
+	EventCapacity int
+	// OutDir receives one artifact set per (config, mix) job:
+	// <label>.trace.json, <label>.events.ndjson, <label>.intervals.csv.
+	OutDir string
+}
+
+// artifactStem builds a filesystem-safe stem for a job's artifact files.
+func artifactStem(cfgLabel, mixName string) string {
+	s := cfgLabel + "-" + mixName
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// exportObs writes one job's observability artifacts under Obs.OutDir.
+// Export errors never fail the run: they are reported to stderr and the
+// simulation result stands.
+func (r *runner) exportObs(j job, o *obs.Observer) {
+	oo := r.opt.Obs
+	if oo == nil || oo.OutDir == "" {
+		return
+	}
+	if err := os.MkdirAll(oo.OutDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "obs: creating %s: %v\n", oo.OutDir, err)
+		return
+	}
+	stem := filepath.Join(oo.OutDir, artifactStem(j.cfgLabel, j.mix.Name))
+	label := j.cfgLabel + " / " + j.mix.Name
+	writeArtifact(stem+".trace.json", func(f *os.File) error {
+		return obs.WriteChromeTrace(f, o, label)
+	})
+	if o.Ring != nil {
+		writeArtifact(stem+".events.ndjson", func(f *os.File) error {
+			return obs.WriteNDJSON(f, o)
+		})
+	}
+	if o.Config().IntervalCycles > 0 {
+		writeArtifact(stem+".intervals.csv", func(f *os.File) error {
+			return obs.WriteIntervalCSV(f, o)
+		})
+	}
+}
+
+// writeArtifact creates path and runs the writer, reporting any failure
+// to stderr.
+func writeArtifact(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+		return
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "obs: writing %s: %v\n", path, err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "obs: closing %s: %v\n", path, err)
+	}
+}

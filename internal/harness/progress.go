@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is the live run reporter: runs completed, simulation rate,
+// cache hits and an ETA, rewritten in place on one line. It is the one
+// deliberately wall-clock component of the harness, so it takes its
+// clock by injection (keeping the simulation packages free of time.Now,
+// which the nodeterminism analyzer enforces) and writes only to the
+// configured sink — stderr in the CLI — never into results or other
+// artifacts. Safe for concurrent use by the runner's worker pool.
+type Progress struct {
+	out io.Writer
+	now func() time.Time
+
+	mu        sync.Mutex
+	started   bool
+	start     time.Time
+	last      time.Time
+	totalJobs int
+	doneJobs  int
+	cacheHits int
+	totalWt   int64
+	doneWt    int64
+	refs      uint64
+}
+
+// NewProgress builds a reporter writing to out, reading wall-clock time
+// from now (pass time.Now from package main). The rate/ETA baseline is
+// construction time.
+func NewProgress(out io.Writer, now func() time.Time) *Progress {
+	return &Progress{out: out, now: now, start: now()}
+}
+
+// AddJob registers one upcoming run with its relative weight (the
+// runner uses per-job simulated-reference cost, so the ETA survives
+// heterogeneous core counts).
+func (p *Progress) AddJob(weight int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.totalJobs++
+	p.totalWt += int64(weight)
+}
+
+// JobDone records one finished run. refs is the number of references it
+// simulated (0 for a cache hit); fromCache marks disk-cache hits.
+func (p *Progress) JobDone(weight int, refs uint64, fromCache bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.doneJobs++
+	p.doneWt += int64(weight)
+	p.refs += refs
+	if fromCache {
+		p.cacheHits++
+	}
+	p.render(p.doneJobs == p.totalJobs)
+}
+
+// Finish prints the final state and terminates the line.
+func (p *Progress) Finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.render(true)
+	if p.started {
+		fmt.Fprintln(p.out)
+	}
+}
+
+// render rewrites the progress line, throttled to ~5 Hz unless force.
+// Callers hold p.mu.
+func (p *Progress) render(force bool) {
+	t := p.now()
+	if p.started && !force && t.Sub(p.last) < 200*time.Millisecond {
+		return
+	}
+	p.started = true
+	p.last = t
+	elapsed := t.Sub(p.start)
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(p.refs) / s
+	}
+	eta := "?"
+	if p.doneWt > 0 && p.totalWt > p.doneWt {
+		rem := time.Duration(float64(elapsed) / float64(p.doneWt) * float64(p.totalWt-p.doneWt))
+		eta = rem.Round(time.Second).String()
+	} else if p.totalWt == p.doneWt {
+		eta = "0s"
+	}
+	fmt.Fprintf(p.out, "\r%d/%d runs | %d cached | %.2fM refs/s | ETA %s   ",
+		p.doneJobs, p.totalJobs, p.cacheHits, rate/1e6, eta)
+}

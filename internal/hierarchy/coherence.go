@@ -6,6 +6,7 @@ import (
 	"zivsim/internal/core"
 	"zivsim/internal/directory"
 	"zivsim/internal/energy"
+	"zivsim/internal/obs"
 	"zivsim/internal/policy"
 )
 
@@ -81,6 +82,9 @@ func (m *Machine) joinSharers(c *coreState, e *directory.Entry, write bool, bloc
 	if (e.State == directory.Modified || e.State == directory.Exclusive) && e.Sharers.Count() == 1 {
 		owner := e.Sharers.Only()
 		if owner != c.id {
+			if m.ring != nil {
+				m.ring.Record(obs.EvCohDowngrade, int16(owner), int16(m.llc.BankOf(blockAddr)), blockAddr, 0)
+			}
 			if m.downgradePrivate(owner, blockAddr) {
 				m.mergeDirty(e, blockAddr)
 			}
@@ -145,6 +149,10 @@ func (m *Machine) handleDirEviction(ev directory.Entry) {
 		if present && m.inMeasured(id) {
 			m.cores[id].stats.DirInclusionVictims++
 		}
+		if present && m.ring != nil {
+			// Arg 1: directory-induced back-invalidation.
+			m.ring.Record(obs.EvBackInval, int16(id), int16(m.llc.BankOf(ev.Addr)), ev.Addr, 1)
+		}
 	})
 	if ev.Relocated {
 		relocDirty := m.llc.InvalidateRelocated(ev.Loc)
@@ -174,6 +182,9 @@ func (m *Machine) handleFillOutcome(requester int, out core.FillOutcome) {
 		if out.Relocation.CrossBank {
 			m.meter.Add(energy.MeshHop, 2)
 		}
+		if m.obsv != nil {
+			m.obsv.OnRelocation(out.Relocation.Depth)
+		}
 	}
 	ev := &out.Evicted
 	if !ev.Valid {
@@ -187,6 +198,10 @@ func (m *Machine) handleFillOutcome(requester int, out core.FillOutcome) {
 				anyDirty = anyDirty || dirty
 				if present && m.inMeasured(id) {
 					m.cores[id].stats.InclusionVictims++
+				}
+				if present && m.ring != nil {
+					// Arg 0: LLC-eviction inclusion victim.
+					m.ring.Record(obs.EvBackInval, int16(id), int16(m.llc.BankOf(ev.Addr)), ev.Addr, 0)
 				}
 			})
 			m.dir.Free(p)

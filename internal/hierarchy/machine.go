@@ -11,6 +11,7 @@ import (
 	"zivsim/internal/energy"
 	"zivsim/internal/metrics"
 	"zivsim/internal/noc"
+	"zivsim/internal/obs"
 	"zivsim/internal/policy"
 	"zivsim/internal/trace"
 )
@@ -69,6 +70,15 @@ type Machine struct {
 	// CoherenceInvals counts private-cache invalidations caused by write
 	// upgrades (distinct from inclusion victims).
 	CoherenceInvals uint64
+
+	// Observability (nil/empty when detached — the only cost then is one
+	// branch per probe point). ring aliases obsv.Ring for the probe hot
+	// path; obsCoreSnap and obsBankReloc are sampler scratch reused every
+	// interval so sampling allocates nothing.
+	obsv         *obs.Observer
+	ring         *obs.Ring
+	obsCoreSnap  []obs.CoreSnap
+	obsBankReloc []uint64
 }
 
 // New builds a machine running the given per-core generators. For

@@ -8,6 +8,12 @@ import (
 
 // step issues the next reference of core c and advances its local clock.
 func (m *Machine) step(c *coreState) {
+	if m.ring != nil {
+		// Stamp the event ring with the issuing core's clock so the
+		// cycle-ignorant core and directory probe points record simulated
+		// time.
+		m.ring.SetNow(c.cycle)
+	}
 	ref := c.gen.Next()
 	pos := c.refIdx*uint64(m.cfg.Cores) + uint64(c.id)
 	measured := !c.done && c.refIdx >= m.warmupRefs
@@ -132,6 +138,11 @@ func (m *Machine) Run() {
 		c := &m.cores[ci]
 		m.step(c)
 		cycleMirror[ci] = c.cycle
+		// min (the stepped core's pre-step clock) is the global simulated
+		// time: sample when it crosses the next interval boundary.
+		if m.obsv != nil && min >= m.obsv.NextSampleAt() {
+			m.sampleInterval(min)
+		}
 		if !c.done && c.refIdx >= target {
 			c.done = true
 			remaining--
@@ -153,6 +164,9 @@ func (m *Machine) resetGlobalStats() {
 	m.mem.Stats.Reset()
 	m.meter = energy.NewMeter(energy.DefaultTable())
 	m.CoherenceInvals = 0
+	if m.obsv != nil {
+		m.rebaseObs()
+	}
 }
 
 // mustCheck validates every invariant (tests only).

@@ -1,0 +1,53 @@
+package obs
+
+import "testing"
+
+// The hot-path record functions carry //ziv:noalloc; these guards prove
+// the contract dynamically (allocpure proves it statically).
+
+func TestRingRecordAllocs(t *testing.T) {
+	r := NewRing(64)
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(5000, func() {
+		r.SetNow(i)
+		r.Record(EvRelocBegin, -1, int16(i&3), i<<6, i&7)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Ring.Record allocates %v per op, want 0", allocs)
+	}
+	if r.Stats.Recorded == 0 {
+		t.Fatal("record path not exercised")
+	}
+}
+
+func TestSampleAllocs(t *testing.T) {
+	o := New(4, 4, Config{IntervalCycles: 100, MaxIntervals: 3000})
+	cores := make([]CoreSnap, 4)
+	banks := make([]uint64, 4)
+	now := uint64(0)
+	allocs := testing.AllocsPerRun(2000, func() {
+		now += 100
+		cores[0].Refs += 7
+		banks[1] += 3
+		o.Sample(now, cores, banks, MachineSnap{Relocations: now})
+	})
+	if allocs != 0 {
+		t.Fatalf("Observer.Sample allocates %v per op, want 0", allocs)
+	}
+	if o.Intervals() == 0 || o.Stats.Intervals == 0 {
+		t.Fatal("sample path not exercised")
+	}
+}
+
+func TestOnRelocationAllocs(t *testing.T) {
+	o := New(1, 1, Config{IntervalCycles: 100})
+	d := uint8(0)
+	allocs := testing.AllocsPerRun(5000, func() {
+		o.OnRelocation(d)
+		d = (d + 1) & 31
+	})
+	if allocs != 0 {
+		t.Fatalf("Observer.OnRelocation allocates %v per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,187 @@
+// Package obs is the deterministic observability layer of the simulator:
+// interval samplers, typed event ring buffers and trace exporters, all
+// indexed by *simulated cycles* — never wall clock — so everything the
+// layer emits is replay-stable and detflow-clean.
+//
+// Three rules keep observation from perturbing the simulation:
+//
+//   - Cycle domain only. Every record carries the simulated cycle supplied
+//     by the hierarchy (Ring.SetNow); nothing in this package reads a
+//     clock, iterates a map, or consumes any other nondeterministic
+//     source, so two runs of the same configuration emit byte-identical
+//     artifacts. detflow treats writes to the *Sample records as
+//     determinism sinks (like Stats fields) and exporter arguments as
+//     sinks, so the rule is enforced by analysis, not convention.
+//
+//   - Zero cost when detached. Probe points in internal/core,
+//     internal/directory and internal/hierarchy compile to a single
+//     branch-on-nil when no observer is attached; the golden-output tests
+//     in internal/harness prove probes-off runs are byte-identical.
+//
+//   - No allocation when attached. The hot-path record functions
+//     (Ring.Record, Observer.Sample, Observer.OnRelocation) write into
+//     fixed-capacity buffers preallocated at construction; they carry
+//     //ziv:noalloc and are verified by allocpure and by
+//     testing.AllocsPerRun guards.
+package obs
+
+// EventKind identifies one probe point.
+type EventKind uint8
+
+// Probe points. Core and directory probes stamp Core = -1 (the issuing
+// core is not visible at that layer); hierarchy probes attribute cores.
+const (
+	EvNone EventKind = iota
+	// EvRelocBegin: a ZIV relocation started; Addr is the relocated
+	// block, Bank its home bank, Arg the priority level (core/ziv.go).
+	EvRelocBegin
+	// EvRelocSetSelect: the relocation-set search selected a destination
+	// set; Addr is the set index, Bank the destination bank, Arg the
+	// priority level.
+	EvRelocSetSelect
+	// EvRelocEnd: the relocation completed; Addr is the relocated block,
+	// Bank the destination bank, Arg the relocation-chain depth.
+	EvRelocEnd
+	// EvInclusionAverted: the original set satisfied the relocation
+	// property, so an alternate victim was evicted in place and no
+	// inclusion victim was generated; Addr is the filled block.
+	EvInclusionAverted
+	// EvDirEviction: a sparse-directory conflict evicted a valid entry
+	// (back-invalidations follow); Addr is the tracked block, Arg its
+	// sharer count.
+	EvDirEviction
+	// EvDirPtrUpdate: ZeroDEV spilled an entry to the overflow structure,
+	// retargeting the pointer any relocated LLC block holds; Arg is 1
+	// when the spilled entry was in Relocated state.
+	EvDirPtrUpdate
+	// EvBackInval: a private copy was force-invalidated; Core is the
+	// victim core, Arg 0 for an LLC-eviction inclusion victim and 1 for a
+	// directory-induced one.
+	EvBackInval
+	// EvCohDowngrade: a read by another core downgraded an exclusive
+	// owner's copy; Core is the downgraded owner.
+	EvCohDowngrade
+	numEventKinds
+)
+
+// String returns the event mnemonic used by the exporters.
+func (k EventKind) String() string {
+	switch k {
+	case EvRelocBegin:
+		return "reloc.begin"
+	case EvRelocSetSelect:
+		return "reloc.set-select"
+	case EvRelocEnd:
+		return "reloc.end"
+	case EvInclusionAverted:
+		return "inclusion-averted"
+	case EvDirEviction:
+		return "dir.eviction"
+	case EvDirPtrUpdate:
+		return "dir.ptr-update"
+	case EvBackInval:
+		return "back-invalidation"
+	case EvCohDowngrade:
+		return "coh.downgrade"
+	}
+	return "?"
+}
+
+// Event is one probe firing, stamped with the simulated cycle of the
+// issuing core. It is a plain value: recording one allocates nothing.
+type Event struct {
+	Cycle uint64
+	Addr  uint64
+	Arg   uint64
+	Kind  EventKind
+	Core  int16 // issuing/victim core, -1 when not attributable
+	Bank  int16 // LLC bank, -1 when not attributable
+}
+
+// RingStats counts ring-buffer activity since the last Reset.
+type RingStats struct {
+	Recorded    uint64 // events recorded (including overwritten ones)
+	Overwritten uint64 // events lost to wrap-around
+}
+
+// Reset clears every counter. The whole-struct assignment is the
+// statreset-approved pattern: fields added later are zeroed too.
+func (s *RingStats) Reset() { *s = RingStats{} }
+
+// Ring is a fixed-capacity flight recorder for probe events. When full it
+// overwrites the oldest events, so it always holds the most recent window
+// — the right trade-off for "what led up to this" debugging. The zero
+// Ring pointer is the detached state: probes guard on nil.
+type Ring struct {
+	now    uint64
+	events []Event
+	next   int
+
+	Stats RingStats
+}
+
+// NewRing builds a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("obs: ring capacity must be positive")
+	}
+	return &Ring{events: make([]Event, capacity)}
+}
+
+// SetNow advances the ring's cycle stamp. The hierarchy calls it once per
+// simulation step with the issuing core's clock, so probes in the
+// cycle-ignorant core and directory packages still record simulated time.
+//
+//ziv:noalloc
+func (r *Ring) SetNow(cycle uint64) { r.now = cycle }
+
+// Now returns the current cycle stamp.
+func (r *Ring) Now() uint64 { return r.now }
+
+// Record appends one event, overwriting the oldest when full.
+//
+//ziv:noalloc
+func (r *Ring) Record(kind EventKind, core, bank int16, addr, arg uint64) {
+	r.events[r.next] = Event{Cycle: r.now, Addr: addr, Arg: arg, Kind: kind, Core: core, Bank: bank}
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+	}
+	if r.Stats.Recorded >= uint64(len(r.events)) {
+		r.Stats.Overwritten++
+	}
+	r.Stats.Recorded++
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.events) }
+
+// Len returns the number of live (not yet overwritten) events.
+func (r *Ring) Len() int {
+	if r.Stats.Recorded < uint64(len(r.events)) {
+		return int(r.Stats.Recorded)
+	}
+	return len(r.events)
+}
+
+// Events appends the live events to dst in record order (oldest first)
+// and returns the extended slice.
+func (r *Ring) Events(dst []Event) []Event {
+	n := r.Len()
+	if n == 0 {
+		return dst
+	}
+	if r.Stats.Recorded <= uint64(len(r.events)) {
+		return append(dst, r.events[:n]...)
+	}
+	dst = append(dst, r.events[r.next:]...)
+	return append(dst, r.events[:r.next]...)
+}
+
+// Reset discards every buffered event and clears the counters (wired
+// into the hierarchy's end-of-warmup global-stat reset, so the ring's
+// window covers the measured region).
+func (r *Ring) Reset() {
+	r.next = 0
+	r.Stats.Reset()
+}

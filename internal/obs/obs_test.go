@@ -1,0 +1,370 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRingWrapOrder(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.SetNow(uint64(100 + i))
+		r.Record(EvRelocBegin, int16(i), -1, uint64(i), 0)
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if r.Stats.Recorded != 6 || r.Stats.Overwritten != 2 {
+		t.Fatalf("Stats = %+v, want Recorded 6 Overwritten 2", r.Stats)
+	}
+	evs := r.Events(nil)
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantAddr := uint64(i + 2) // oldest two overwritten
+		if ev.Addr != wantAddr || ev.Cycle != 100+wantAddr {
+			t.Errorf("event %d = %+v, want Addr %d Cycle %d", i, ev, wantAddr, 100+wantAddr)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Stats.Recorded != 0 {
+		t.Fatalf("after Reset: Len %d Stats %+v", r.Len(), r.Stats)
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	r.SetNow(7)
+	r.Record(EvBackInval, 1, 2, 0xabc, 1)
+	evs := r.Events(nil)
+	if len(evs) != 1 {
+		t.Fatalf("Events len = %d, want 1", len(evs))
+	}
+	want := Event{Cycle: 7, Addr: 0xabc, Arg: 1, Kind: EvBackInval, Core: 1, Bank: 2}
+	if evs[0] != want {
+		t.Fatalf("event = %+v, want %+v", evs[0], want)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := EvRelocBegin; k < numEventKinds; k++ {
+		if k.String() == "?" {
+			t.Errorf("EventKind %d has no mnemonic", k)
+		}
+	}
+	if EvNone.String() != "?" || EventKind(200).String() != "?" {
+		t.Errorf("unknown kinds should stringify to ?")
+	}
+}
+
+func testObserver() *Observer {
+	return New(2, 2, Config{IntervalCycles: 100, MaxIntervals: 8, EventCapacity: 16})
+}
+
+func TestSamplerDeltas(t *testing.T) {
+	o := testObserver()
+	if o.NextSampleAt() != 100 {
+		t.Fatalf("NextSampleAt = %d, want 100", o.NextSampleAt())
+	}
+
+	cores := []CoreSnap{
+		{Refs: 10, Instructions: 40, Cycles: 100, L1Misses: 5, LLCMisses: 2, InclVictims: 1},
+		{Refs: 20, Instructions: 80, Cycles: 100, L2Misses: 3, DirVictims: 2},
+	}
+	banks := []uint64{4, 6}
+	mach := MachineSnap{Relocations: 10, Evictions: 7, DRAMReads: 5, QueueDepth: 3}
+	o.Sample(100, cores, banks, mach)
+
+	if o.Intervals() != 1 || o.NextSampleAt() != 200 {
+		t.Fatalf("after first sample: intervals %d next %d", o.Intervals(), o.NextSampleAt())
+	}
+	cs := o.CoreSamples()
+	if len(cs) != 2 {
+		t.Fatalf("core samples = %d, want 2", len(cs))
+	}
+	if cs[0].Refs != 10 || cs[0].Instructions != 40 || cs[0].L1Misses != 5 || cs[0].InclVictims != 1 {
+		t.Fatalf("core0 sample = %+v", cs[0])
+	}
+	if got := cs[0].IPC(); got != 0.4 {
+		t.Fatalf("core0 IPC = %v, want 0.4", got)
+	}
+	if cs[1].Core != 1 || cs[1].L2Misses != 3 || cs[1].DirVictims != 2 {
+		t.Fatalf("core1 sample = %+v", cs[1])
+	}
+	bs := o.BankSamples()
+	if len(bs) != 2 || bs[0].Relocations != 4 || bs[1].Relocations != 6 {
+		t.Fatalf("bank samples = %+v", bs)
+	}
+	ms := o.MachineSamples()
+	if len(ms) != 1 || ms[0].Relocations != 10 || ms[0].QueueDepth != 3 {
+		t.Fatalf("machine samples = %+v", ms)
+	}
+
+	// Second interval: deltas, not cumulative values.
+	cores[0].Refs, cores[0].Instructions, cores[0].Cycles = 15, 60, 200
+	cores[1].Refs = 21
+	banks[0] = 9
+	mach.Relocations, mach.QueueDepth = 12, 0
+	o.Sample(200, cores, banks, mach)
+
+	cs = o.CoreSamples()
+	if cs[2].Refs != 5 || cs[2].Instructions != 20 || cs[2].Cycles != 100 {
+		t.Fatalf("core0 second sample = %+v", cs[2])
+	}
+	if cs[2].StartCycle != 100 || cs[2].EndCycle != 200 {
+		t.Fatalf("second sample window = [%d,%d]", cs[2].StartCycle, cs[2].EndCycle)
+	}
+	if o.BankSamples()[2].Relocations != 5 {
+		t.Fatalf("bank0 second delta = %d, want 5", o.BankSamples()[2].Relocations)
+	}
+	if mss := o.MachineSamples(); mss[1].Relocations != 2 || mss[1].QueueDepth != 0 {
+		t.Fatalf("machine second sample = %+v", mss[1])
+	}
+}
+
+func TestSamplerAdvanceSkipsMissedPeriods(t *testing.T) {
+	o := testObserver()
+	cores := make([]CoreSnap, 2)
+	banks := make([]uint64, 2)
+	// A long stall jumps past several boundaries; the next boundary must
+	// land strictly after now, not replay the missed ones.
+	o.Sample(350, cores, banks, MachineSnap{})
+	if o.NextSampleAt() != 400 {
+		t.Fatalf("NextSampleAt = %d, want 400", o.NextSampleAt())
+	}
+	if o.CoreSamples()[0].StartCycle != 0 || o.CoreSamples()[0].EndCycle != 350 {
+		t.Fatalf("sample window = %+v", o.CoreSamples()[0])
+	}
+}
+
+func TestSamplerDropsPastCap(t *testing.T) {
+	o := New(1, 1, Config{IntervalCycles: 10, MaxIntervals: 2})
+	cores := make([]CoreSnap, 1)
+	banks := make([]uint64, 1)
+	for i := 1; i <= 5; i++ {
+		o.Sample(uint64(i*10), cores, banks, MachineSnap{})
+	}
+	if o.Intervals() != 2 || o.Stats.Intervals != 2 || o.Stats.Dropped != 3 {
+		t.Fatalf("intervals %d stats %+v", o.Intervals(), o.Stats)
+	}
+	if len(o.CoreSamples()) != 2 {
+		t.Fatalf("core samples = %d, want 2", len(o.CoreSamples()))
+	}
+}
+
+func TestOnRelocationSaturates(t *testing.T) {
+	o := testObserver()
+	o.OnRelocation(0)
+	o.OnRelocation(3)
+	o.OnRelocation(3)
+	o.OnRelocation(200)
+	h := o.DepthHist()
+	if h[0] != 1 || h[3] != 2 || h[MaxRelocDepth] != 1 {
+		t.Fatalf("hist = %v", h)
+	}
+	if o.Stats.Relocations != 4 {
+		t.Fatalf("Stats.Relocations = %d, want 4", o.Stats.Relocations)
+	}
+}
+
+func TestRebase(t *testing.T) {
+	o := testObserver()
+	cores := []CoreSnap{{Refs: 100}, {Refs: 200}}
+	banks := []uint64{10, 20}
+	o.Sample(100, cores, banks, MachineSnap{Relocations: 50})
+	o.OnRelocation(2)
+	o.Ring.SetNow(90)
+	o.Ring.Record(EvRelocEnd, -1, 0, 0x1000, 2)
+
+	// Warmup ends at cycle 5000 with the given cumulative baselines.
+	base := []CoreSnap{{Refs: 500}, {Refs: 600}}
+	baseBanks := []uint64{30, 40}
+	o.Rebase(5000, base, baseBanks, MachineSnap{Relocations: 80})
+
+	if o.Intervals() != 0 || len(o.CoreSamples()) != 0 || len(o.MachineSamples()) != 0 {
+		t.Fatalf("samples survived rebase")
+	}
+	if o.DepthHist() != ([MaxRelocDepth + 1]uint64{}) {
+		t.Fatalf("hist survived rebase: %v", o.DepthHist())
+	}
+	if o.Stats != (SamplerStats{}) {
+		t.Fatalf("stats survived rebase: %+v", o.Stats)
+	}
+	if o.Ring.Len() != 0 {
+		t.Fatalf("ring survived rebase")
+	}
+	if o.NextSampleAt() != 5100 {
+		t.Fatalf("NextSampleAt = %d, want 5100", o.NextSampleAt())
+	}
+
+	// Post-rebase deltas diff against the rebase baselines.
+	cur := []CoreSnap{{Refs: 510}, {Refs: 630}}
+	o.Sample(5100, cur, []uint64{31, 44}, MachineSnap{Relocations: 85})
+	cs := o.CoreSamples()
+	if cs[0].Refs != 10 || cs[1].Refs != 30 {
+		t.Fatalf("post-rebase core deltas = %+v", cs)
+	}
+	if cs[0].StartCycle != 5000 {
+		t.Fatalf("post-rebase start cycle = %d, want 5000", cs[0].StartCycle)
+	}
+	if o.BankSamples()[0].Relocations != 1 || o.BankSamples()[1].Relocations != 4 {
+		t.Fatalf("post-rebase bank deltas = %+v", o.BankSamples())
+	}
+	if o.MachineSamples()[0].Relocations != 5 {
+		t.Fatalf("post-rebase machine delta = %+v", o.MachineSamples()[0])
+	}
+}
+
+func TestResetZerosBaselines(t *testing.T) {
+	o := testObserver()
+	cores := []CoreSnap{{Refs: 100}, {Refs: 200}}
+	o.Sample(100, cores, []uint64{1, 2}, MachineSnap{})
+	o.Reset()
+	if o.Intervals() != 0 || o.NextSampleAt() != 100 {
+		t.Fatalf("after Reset: intervals %d next %d", o.Intervals(), o.NextSampleAt())
+	}
+	o.Sample(100, cores, []uint64{1, 2}, MachineSnap{})
+	if o.CoreSamples()[0].Refs != 100 {
+		t.Fatalf("Reset kept old baselines: %+v", o.CoreSamples()[0])
+	}
+}
+
+func sampleObserver(t *testing.T) *Observer {
+	t.Helper()
+	o := testObserver()
+	cores := []CoreSnap{
+		{Refs: 10, Instructions: 40, Cycles: 100, LLCMisses: 2},
+		{Refs: 20, Instructions: 80, Cycles: 100},
+	}
+	o.Sample(100, cores, []uint64{3, 5}, MachineSnap{Relocations: 8, QueueDepth: 1})
+	o.OnRelocation(1)
+	o.OnRelocation(1)
+	o.OnRelocation(4)
+	o.Ring.SetNow(42)
+	o.Ring.Record(EvRelocBegin, -1, 1, 0x2000, 0)
+	o.Ring.SetNow(55)
+	o.Ring.Record(EvBackInval, 1, 0, 0x3000, 0)
+	return o
+}
+
+func TestWriteIntervalCSV(t *testing.T) {
+	o := sampleObserver(t)
+	var buf bytes.Buffer
+	if err := WriteIntervalCSV(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != IntervalCSVHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// 2 core rows + 1 machine row + 2 bank rows + 2 depth rows (1 and 4).
+	if len(lines) != 1+2+1+2+2 {
+		t.Fatalf("got %d lines: %q", len(lines), lines)
+	}
+	wantCore0 := "core,0,0,0,100,10,40,100,0.4000,0,0,2,0,0,0,0,0,0,0,0,0,0,0,0"
+	if lines[1] != wantCore0 {
+		t.Fatalf("core0 row = %q, want %q", lines[1], wantCore0)
+	}
+	if !strings.HasPrefix(lines[3], "machine,0,0,0,100,") || !strings.Contains(lines[3], ",8,") {
+		t.Fatalf("machine row = %q", lines[3])
+	}
+	if !strings.HasPrefix(lines[4], "bank,0,0,") || !strings.HasPrefix(lines[5], "bank,0,1,") {
+		t.Fatalf("bank rows = %q %q", lines[4], lines[5])
+	}
+	if !strings.HasPrefix(lines[6], "depth,-1,1,") || !strings.HasPrefix(lines[7], "depth,-1,4,") {
+		t.Fatalf("depth rows = %q %q", lines[6], lines[7])
+	}
+	for _, ln := range lines[1:] {
+		if got := strings.Count(ln, ","); got != strings.Count(IntervalCSVHeader, ",") {
+			t.Fatalf("row has %d commas, header has %d: %q", got, strings.Count(IntervalCSVHeader, ","), ln)
+		}
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	o := sampleObserver(t)
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var rec struct {
+		Cycle uint64 `json:"cycle"`
+		Kind  string `json:"kind"`
+		Core  int    `json:"core"`
+		Addr  string `json:"addr"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Cycle != 42 || rec.Kind != "reloc.begin" || rec.Core != -1 || rec.Addr != "0x2000" {
+		t.Fatalf("first record = %+v", rec)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	o := sampleObserver(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, o, "unit-test"); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   uint64 `json:"ts"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+			S    string `json:"s"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	var meta, counters, instants int
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "C":
+			counters++
+		case "i":
+			instants++
+			if ev.S != "t" {
+				t.Errorf("instant without thread scope: %+v", ev)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	// 2 process names + 2 core threads + 2 bank threads.
+	if meta != 6 {
+		t.Errorf("metadata events = %d, want 6", meta)
+	}
+	// 3 counters per core sample (2 samples) + 1 per bank sample (2).
+	if counters != 8 {
+		t.Errorf("counter events = %d, want 8", counters)
+	}
+	if instants != 2 {
+		t.Errorf("instant events = %d, want 2", instants)
+	}
+
+	// Byte-identical on re-export: the trace is deterministic.
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, o, "unit-test"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-export differs byte-for-byte")
+	}
+}

@@ -1,0 +1,347 @@
+package obs
+
+// CoreSnap is the cumulative per-core counter set the sampler diffs: the
+// hierarchy fills one per core from its measured-segment statistics at
+// every sampling boundary, and the Observer turns consecutive snapshots
+// into per-interval deltas.
+type CoreSnap struct {
+	Refs         uint64
+	Instructions uint64
+	Cycles       uint64
+	L1Misses     uint64
+	L2Misses     uint64
+	LLCMisses    uint64
+	InclVictims  uint64
+	DirVictims   uint64
+}
+
+// MachineSnap is the cumulative machine-wide counter set the sampler
+// diffs. QueueDepth is instantaneous (busy DRAM banks at the boundary),
+// not diffed.
+type MachineSnap struct {
+	Relocations      uint64
+	CrossBankRelocs  uint64
+	AlternateVictims uint64
+	Evictions        uint64
+	InPrCEvictions   uint64
+	DirEvictions     uint64
+	DirSpills        uint64
+	DRAMReads        uint64
+	DRAMWrites       uint64
+	QueueDepth       uint64
+}
+
+// CoreSample is one interval's per-core counter deltas. detflow treats
+// writes to its fields as determinism sinks (the "Sample" suffix matches
+// the Stats rule), so nondeterministic values cannot leak into exported
+// intervals.
+type CoreSample struct {
+	Interval   int
+	Core       int
+	StartCycle uint64
+	EndCycle   uint64
+
+	Refs         uint64
+	Instructions uint64
+	Cycles       uint64
+	L1Misses     uint64
+	L2Misses     uint64
+	LLCMisses    uint64
+	InclVictims  uint64
+	DirVictims   uint64
+}
+
+// IPC returns the interval's instructions per (core-local) cycle, 0 for
+// an idle interval.
+func (s *CoreSample) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// MachineSample is one interval's machine-wide counter deltas.
+type MachineSample struct {
+	Interval   int
+	StartCycle uint64
+	EndCycle   uint64
+
+	Relocations      uint64
+	CrossBankRelocs  uint64
+	AlternateVictims uint64
+	Evictions        uint64
+	InPrCEvictions   uint64
+	DirEvictions     uint64
+	DirSpills        uint64
+	DRAMReads        uint64
+	DRAMWrites       uint64
+	QueueDepth       uint64
+}
+
+// BankSample is one interval's relocations landed in one LLC bank.
+type BankSample struct {
+	Interval    int
+	Bank        int
+	Relocations uint64
+}
+
+// MaxRelocDepth is the last bucket of the relocation-chain-depth
+// histogram; deeper chains saturate into it.
+const MaxRelocDepth = 15
+
+// Config sizes an Observer.
+type Config struct {
+	// IntervalCycles is the sampling period in simulated cycles of global
+	// (minimum-core) time; 0 disables the interval sampler.
+	IntervalCycles uint64
+	// MaxIntervals caps the preallocated sample buffers (default 1024);
+	// intervals past the cap are counted as dropped, never reallocated.
+	MaxIntervals int
+	// EventCapacity sizes the event ring buffer; 0 disables it.
+	EventCapacity int
+}
+
+// SamplerStats counts sampler activity since the last Reset.
+type SamplerStats struct {
+	Intervals   uint64 // intervals recorded
+	Dropped     uint64 // intervals past MaxIntervals
+	Relocations uint64 // relocation-depth observations
+}
+
+// Reset clears every counter. The whole-struct assignment is the
+// statreset-approved pattern: fields added later are zeroed too.
+func (s *SamplerStats) Reset() { *s = SamplerStats{} }
+
+// Observer owns one simulation's observability state: the interval
+// sample buffers, the event ring and the relocation-depth histogram. All
+// buffers are preallocated at construction; the record path allocates
+// nothing.
+type Observer struct {
+	cfg   Config
+	cores int
+	banks int
+
+	// Ring is the event flight recorder, nil when EventCapacity is 0.
+	// The hierarchy hands it to the core and directory probe points.
+	Ring *Ring
+
+	nextSampleAt  uint64
+	intervalStart uint64
+	intervals     int
+
+	prevCore []CoreSnap
+	prevBank []uint64
+	prevMach MachineSnap
+
+	coreSamples []CoreSample
+	bankSamples []BankSample
+	machSamples []MachineSample
+
+	depthHist [MaxRelocDepth + 1]uint64
+
+	Stats SamplerStats
+}
+
+// New builds an Observer for a machine with the given core and LLC bank
+// counts.
+func New(cores, banks int, cfg Config) *Observer {
+	if cores <= 0 || banks <= 0 {
+		panic("obs: cores and banks must be positive")
+	}
+	if cfg.MaxIntervals <= 0 {
+		cfg.MaxIntervals = 1024
+	}
+	o := &Observer{
+		cfg:      cfg,
+		cores:    cores,
+		banks:    banks,
+		prevCore: make([]CoreSnap, cores),
+		prevBank: make([]uint64, banks),
+	}
+	if cfg.IntervalCycles > 0 {
+		o.coreSamples = make([]CoreSample, 0, cfg.MaxIntervals*cores)
+		o.bankSamples = make([]BankSample, 0, cfg.MaxIntervals*banks)
+		o.machSamples = make([]MachineSample, 0, cfg.MaxIntervals)
+		o.nextSampleAt = cfg.IntervalCycles
+	}
+	if cfg.EventCapacity > 0 {
+		o.Ring = NewRing(cfg.EventCapacity)
+	}
+	return o
+}
+
+// Config returns the observer configuration.
+func (o *Observer) Config() Config { return o.cfg }
+
+// Cores returns the observed core count.
+func (o *Observer) Cores() int { return o.cores }
+
+// Banks returns the observed LLC bank count.
+func (o *Observer) Banks() int { return o.banks }
+
+// NextSampleAt returns the global cycle at which the next interval
+// closes, or ^uint64(0) when the sampler is disabled — the hierarchy's
+// run loop compares its minimum core clock against this.
+//
+//ziv:noalloc
+func (o *Observer) NextSampleAt() uint64 {
+	if o.cfg.IntervalCycles == 0 {
+		return ^uint64(0)
+	}
+	return o.nextSampleAt
+}
+
+// Sample closes the current interval at global cycle now: it diffs the
+// cumulative snapshots against the previous boundary and appends one
+// CoreSample per core, one BankSample per bank and one MachineSample
+// into the preallocated buffers. cores and bankReloc must have the
+// constructor's lengths.
+//
+//ziv:noalloc
+func (o *Observer) Sample(now uint64, cores []CoreSnap, bankReloc []uint64, mach MachineSnap) {
+	defer o.advance(now)
+	if o.intervals >= o.cfg.MaxIntervals {
+		o.Stats.Dropped++
+		return
+	}
+	// The buffers were sized by the constructor and the MaxIntervals guard
+	// above keeps every extension within capacity, so the re-slices below
+	// never reallocate (append would defeat allocpure's proof).
+	iv := o.intervals
+	for i := range cores {
+		cur := &cores[i]
+		prev := &o.prevCore[i]
+		n := len(o.coreSamples)
+		o.coreSamples = o.coreSamples[:n+1]
+		s := &o.coreSamples[n]
+		*s = CoreSample{}
+		s.Interval = iv
+		s.Core = i
+		s.StartCycle = o.intervalStart
+		s.EndCycle = now
+		s.Refs = cur.Refs - prev.Refs
+		s.Instructions = cur.Instructions - prev.Instructions
+		s.Cycles = cur.Cycles - prev.Cycles
+		s.L1Misses = cur.L1Misses - prev.L1Misses
+		s.L2Misses = cur.L2Misses - prev.L2Misses
+		s.LLCMisses = cur.LLCMisses - prev.LLCMisses
+		s.InclVictims = cur.InclVictims - prev.InclVictims
+		s.DirVictims = cur.DirVictims - prev.DirVictims
+		*prev = *cur
+	}
+	for b := range bankReloc {
+		n := len(o.bankSamples)
+		o.bankSamples = o.bankSamples[:n+1]
+		o.bankSamples[n] = BankSample{
+			Interval:    iv,
+			Bank:        b,
+			Relocations: bankReloc[b] - o.prevBank[b],
+		}
+		o.prevBank[b] = bankReloc[b]
+	}
+	n := len(o.machSamples)
+	o.machSamples = o.machSamples[:n+1]
+	ms := &o.machSamples[n]
+	*ms = MachineSample{}
+	ms.Interval = iv
+	ms.StartCycle = o.intervalStart
+	ms.EndCycle = now
+	ms.Relocations = mach.Relocations - o.prevMach.Relocations
+	ms.CrossBankRelocs = mach.CrossBankRelocs - o.prevMach.CrossBankRelocs
+	ms.AlternateVictims = mach.AlternateVictims - o.prevMach.AlternateVictims
+	ms.Evictions = mach.Evictions - o.prevMach.Evictions
+	ms.InPrCEvictions = mach.InPrCEvictions - o.prevMach.InPrCEvictions
+	ms.DirEvictions = mach.DirEvictions - o.prevMach.DirEvictions
+	ms.DirSpills = mach.DirSpills - o.prevMach.DirSpills
+	ms.DRAMReads = mach.DRAMReads - o.prevMach.DRAMReads
+	ms.DRAMWrites = mach.DRAMWrites - o.prevMach.DRAMWrites
+	ms.QueueDepth = mach.QueueDepth
+	o.prevMach = mach
+	o.intervals++
+	o.Stats.Intervals++
+}
+
+// advance opens the next interval after now, skipping whole periods a
+// long stall may have jumped over (one sample per boundary crossed would
+// backlog the hot loop).
+//
+//ziv:noalloc
+func (o *Observer) advance(now uint64) {
+	o.intervalStart = now
+	o.nextSampleAt += o.cfg.IntervalCycles
+	for o.nextSampleAt <= now {
+		o.nextSampleAt += o.cfg.IntervalCycles
+	}
+}
+
+// OnRelocation feeds the relocation-chain-depth histogram: depth is how
+// many times the moved block has been relocated since its fill
+// (saturating at MaxRelocDepth).
+//
+//ziv:noalloc
+func (o *Observer) OnRelocation(depth uint8) {
+	if depth > MaxRelocDepth {
+		depth = MaxRelocDepth
+	}
+	o.depthHist[depth]++
+	o.Stats.Relocations++
+}
+
+// CoreSamples returns the recorded per-core interval samples.
+func (o *Observer) CoreSamples() []CoreSample { return o.coreSamples }
+
+// BankSamples returns the recorded per-bank interval samples.
+func (o *Observer) BankSamples() []BankSample { return o.bankSamples }
+
+// MachineSamples returns the recorded machine-wide interval samples.
+func (o *Observer) MachineSamples() []MachineSample { return o.machSamples }
+
+// DepthHist returns the relocation-chain-depth histogram; index d counts
+// relocations whose block had been moved d times (MaxRelocDepth
+// saturates).
+func (o *Observer) DepthHist() [MaxRelocDepth + 1]uint64 { return o.depthHist }
+
+// Intervals returns the number of recorded intervals.
+func (o *Observer) Intervals() int { return o.intervals }
+
+// Reset discards all recorded state and restarts the interval clock at
+// cycle 0 with zero baselines.
+func (o *Observer) Reset() {
+	o.Rebase(0, nil, nil, MachineSnap{})
+}
+
+// Rebase discards all recorded state and restarts observation at global
+// cycle now with the given cumulative baselines (nil slices mean zero).
+// The hierarchy calls this from its end-of-warmup global-stat reset so
+// the observer — like every Stats struct — covers exactly the measured
+// region.
+func (o *Observer) Rebase(now uint64, cores []CoreSnap, bankReloc []uint64, mach MachineSnap) {
+	o.intervals = 0
+	o.coreSamples = o.coreSamples[:0]
+	o.bankSamples = o.bankSamples[:0]
+	o.machSamples = o.machSamples[:0]
+	o.depthHist = [MaxRelocDepth + 1]uint64{}
+	o.Stats.Reset()
+	for i := range o.prevCore {
+		if cores != nil {
+			o.prevCore[i] = cores[i]
+		} else {
+			o.prevCore[i] = CoreSnap{}
+		}
+	}
+	for b := range o.prevBank {
+		if bankReloc != nil {
+			o.prevBank[b] = bankReloc[b]
+		} else {
+			o.prevBank[b] = 0
+		}
+	}
+	o.prevMach = mach
+	o.intervalStart = now
+	if o.cfg.IntervalCycles > 0 {
+		o.nextSampleAt = now + o.cfg.IntervalCycles
+	}
+	if o.Ring != nil {
+		o.Ring.Reset()
+	}
+}
