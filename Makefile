@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif lint-baseline test race fuzz bench bench-quick bench-compare obs-smoke ci
+.PHONY: all build vet lint lint-sarif lint-baseline test race fuzz bench bench-quick bench-compare obs-smoke resume-smoke ci
 
 all: ci
 
@@ -55,5 +55,26 @@ obs-smoke:
 		-warmup 1000 -refs 4000 -obs-interval 2000 -obs-events 4096 \
 		-obs-out obsout > /dev/null
 	$(GO) run ./cmd/zivreport -checktrace obsout
+
+# End-to-end interrupt/resume check (OPERATIONS.md): a clean tiny sweep,
+# the same sweep drained after 3 jobs via fault injection (must exit 4),
+# then a resume that must produce byte-identical output. Uses a built
+# binary, not `go run`, because go run collapses exit codes to 1.
+RESUME_SMOKE_FLAGS = -fig fig1 -scale 32 -cores 2 -mixes 2 -homo 0 \
+	-warmup 1000 -refs 4000 -parallel 1 -csv
+
+resume-smoke:
+	rm -rf resume-smoke.tmp && mkdir -p resume-smoke.tmp
+	$(GO) build -o resume-smoke.tmp/zivsim ./cmd/zivsim
+	./resume-smoke.tmp/zivsim $(RESUME_SMOKE_FLAGS) > resume-smoke.tmp/clean.csv
+	./resume-smoke.tmp/zivsim $(RESUME_SMOKE_FLAGS) -checkpoint resume-smoke.tmp/ck \
+		-faultspec 'drain-after:3' > resume-smoke.tmp/drained.csv; \
+		st=$$?; if [ $$st -ne 4 ]; then \
+			echo "resume-smoke: drained run: want exit 4 (interrupted), got $$st"; exit 1; fi
+	./resume-smoke.tmp/zivsim $(RESUME_SMOKE_FLAGS) -checkpoint resume-smoke.tmp/ck \
+		-resume > resume-smoke.tmp/resumed.csv
+	cmp resume-smoke.tmp/clean.csv resume-smoke.tmp/resumed.csv
+	@echo "resume-smoke: resumed sweep is byte-identical to the clean run"
+	rm -rf resume-smoke.tmp
 
 ci: build vet lint test race

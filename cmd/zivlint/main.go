@@ -29,6 +29,7 @@ import (
 	"zivsim/internal/analysis/allocpure"
 	"zivsim/internal/analysis/blockmutation"
 	"zivsim/internal/analysis/detflow"
+	"zivsim/internal/analysis/doccomment"
 	"zivsim/internal/analysis/framework"
 	"zivsim/internal/analysis/nodeterminism"
 	"zivsim/internal/analysis/sarif"
@@ -41,6 +42,7 @@ var analyzers = []*framework.Analyzer{
 	allocpure.Analyzer,
 	blockmutation.Analyzer,
 	detflow.Analyzer,
+	doccomment.Analyzer,
 	nodeterminism.Analyzer,
 	sidecarsync.Analyzer,
 	statreset.Analyzer,

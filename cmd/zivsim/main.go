@@ -8,27 +8,60 @@
 //	zivsim -fig all -csv         # everything, CSV output
 //	zivsim -fig fig11 -scale 1 -mixes 36 -homo 36   # paper-fidelity run
 //	zivsim -fig all -cache       # persist results; reruns are instant
+//	zivsim -fig all -checkpoint .zivcheckpoint      # journal completed jobs
+//	zivsim -fig all -resume      # skip jobs finished before an interrupt
 //	zivsim -fig fig8 -cpuprofile cpu.pb.gz          # profile the run
 //	zivsim -fig fig1 -obs-interval 5000 -obs-events 4096 -obs-out obsout
 //	                             # per-run Perfetto traces, event dumps, interval CSVs
 //	zivsim -fig all -progress    # live run counter + ETA on stderr
 //	zivsim -config               # print the simulated machine (Table I)
+//
+// Long sweeps are fault-isolated: a panic in one simulation fails that
+// job only (after -retries attempts) and the sweep continues. SIGINT or
+// SIGTERM triggers a graceful drain — dispatching stops, in-flight jobs
+// finish (bounded by -job-deadline), completed work is flushed to the
+// checkpoint and observability artifacts — and a second signal exits
+// immediately. See OPERATIONS.md for the runbook.
+//
+// Exit codes: 0 success; 2 usage error; 3 the sweep completed but at
+// least one job failed (a failed-job report is printed to stderr); 4 the
+// sweep was interrupted and drained (resume with -resume); 1 other
+// runtime errors (profile files etc.).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"strings"
+	"syscall"
 	"time"
 
 	"zivsim/internal/harness"
 	"zivsim/internal/hierarchy"
 )
 
+// Exit codes; documented in OPERATIONS.md and docs/cli.md.
+const (
+	exitOK          = 0
+	exitError       = 1
+	exitUsage       = 2
+	exitFailedJobs  = 3
+	exitInterrupted = 4
+)
+
 func main() {
+	os.Exit(run())
+}
+
+// run parses flags, executes the requested experiments and returns the
+// process exit code. It exists (rather than doing everything in main) so
+// deferred profile/trace finalizers run before os.Exit.
+func run() int {
 	var (
 		figID     = flag.String("fig", "", "experiment to run (fig1..fig19, or 'all')")
 		list      = flag.Bool("list", false, "list available experiments")
@@ -45,16 +78,21 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		paper     = flag.Bool("paper", false, "paper-fidelity options (slow; overrides scale/mixes/refs)")
 
-		useCache   = flag.Bool("cache", false, "persist simulation results under -cachedir and reuse them")
-		cacheDir   = flag.String("cachedir", ".zivcache", "directory for the persistent result cache")
-		obsIval    = flag.Uint64("obs-interval", 0, "sample machine counters every N simulated cycles (0 = off)")
-		obsEvents  = flag.Int("obs-events", 0, "capture the last N simulator events per run (0 = off)")
-		obsOut     = flag.String("obs-out", "obsout", "directory for observability artifacts (trace/NDJSON/CSV)")
-		obsMaxIv   = flag.Int("obs-max-intervals", 4096, "max sampled intervals per run")
-		progress   = flag.Bool("progress", false, "live run progress on stderr")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
+		useCache    = flag.Bool("cache", false, "persist simulation results under -cachedir and reuse them")
+		cacheDir    = flag.String("cachedir", ".zivcache", "directory for the persistent result cache")
+		checkpoint  = flag.String("checkpoint", "", "journal completed jobs to this sweep checkpoint file (empty = off)")
+		resume      = flag.Bool("resume", false, "skip jobs recorded in the checkpoint file (default .zivcheckpoint; implies -checkpoint)")
+		retries     = flag.Int("retries", 2, "attempts per job before it is recorded as failed")
+		jobDeadline = flag.Duration("job-deadline", 0, "after an interrupt, how long to wait for in-flight jobs (0 = until they finish)")
+		faultspec   = flag.String("faultspec", "", "deterministic fault injection for testing, e.g. 'panic:KEY@1;drain-after:3' (see OPERATIONS.md)")
+		obsIval     = flag.Uint64("obs-interval", 0, "sample machine counters every N simulated cycles (0 = off)")
+		obsEvents   = flag.Int("obs-events", 0, "capture the last N simulator events per run (0 = off)")
+		obsOut      = flag.String("obs-out", "obsout", "directory for observability artifacts (trace/NDJSON/CSV)")
+		obsMaxIv    = flag.Int("obs-max-intervals", 4096, "max sampled intervals per run")
+		progress    = flag.Bool("progress", false, "live run progress on stderr")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceFile   = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -62,12 +100,12 @@ func main() {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "zivsim: -cpuprofile: %v\n", err)
-			os.Exit(1)
+			return exitError
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "zivsim: -cpuprofile: %v\n", err)
-			os.Exit(1)
+			return exitError
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -75,12 +113,12 @@ func main() {
 		f, err := os.Create(*traceFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "zivsim: -trace: %v\n", err)
-			os.Exit(1)
+			return exitError
 		}
 		defer f.Close()
 		if err := trace.Start(f); err != nil {
 			fmt.Fprintf(os.Stderr, "zivsim: -trace: %v\n", err)
-			os.Exit(1)
+			return exitError
 		}
 		defer trace.Stop()
 	}
@@ -103,15 +141,19 @@ func main() {
 		for _, e := range harness.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return exitOK
 	}
 	if *showCfg {
 		printConfig(*cores, *scale)
-		return
+		return exitOK
 	}
 	if *figID == "" {
 		fmt.Fprintln(os.Stderr, "usage: zivsim -fig <id>|all  (see -list)")
-		os.Exit(2)
+		return exitUsage
+	}
+	if err := harness.ParseFaultSpec(*faultspec); err != nil {
+		fmt.Fprintf(os.Stderr, "zivsim: -faultspec: %v\n", err)
+		return exitUsage
 	}
 
 	opt := harness.DefaultOptions()
@@ -131,6 +173,13 @@ func main() {
 	if *useCache {
 		opt.CacheDir = *cacheDir
 	}
+	opt.MaxAttempts = *retries
+	opt.FaultSpec = *faultspec
+	opt.CheckpointFile = *checkpoint
+	opt.Resume = *resume
+	if *resume && opt.CheckpointFile == "" {
+		opt.CheckpointFile = ".zivcheckpoint"
+	}
 	if *obsIval > 0 || *obsEvents > 0 {
 		opt.Obs = &harness.ObsOptions{
 			IntervalCycles: *obsIval,
@@ -145,6 +194,25 @@ func main() {
 		opt.Progress = prog
 	}
 
+	// Graceful drain: the first SIGINT/SIGTERM stops dispatching and arms
+	// the -job-deadline timer; in-flight simulations finish (or are
+	// abandoned at the deadline) and completed work is flushed. A second
+	// signal exits immediately with the conventional 130.
+	drain := harness.NewDrain()
+	opt.Drain = drain
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "zivsim: interrupt — draining (in-flight jobs finish; interrupt again to exit now)")
+		drain.Request()
+		if *jobDeadline > 0 {
+			time.AfterFunc(*jobDeadline, drain.Expire)
+		}
+		<-sig
+		os.Exit(130)
+	}()
+
 	var toRun []harness.Experiment
 	if *figID == "all" {
 		toRun = harness.Experiments()
@@ -152,16 +220,26 @@ func main() {
 		e, ok := harness.ByID(*figID)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "zivsim: unknown experiment %q (see -list)\n", *figID)
-			os.Exit(2)
+			return exitUsage
 		}
 		toRun = []harness.Experiment{e}
 	}
 
+	experimentPanics := 0
 	for _, e := range toRun {
 		start := time.Now()
-		tab := e.Run(opt)
+		tab := runExperiment(e, opt)
+		if tab == nil {
+			experimentPanics++
+			continue
+		}
 		if prog != nil {
 			prog.Finish()
+		}
+		if drain.Requested() {
+			// The table may hold placeholder zeros for skipped jobs;
+			// don't print partial figures as if they were results.
+			break
 		}
 		if *csv {
 			fmt.Print(tab.CSV())
@@ -170,6 +248,54 @@ func main() {
 			fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond)) //ziv:ignore(detflow) progress timing, not table content; absent in -csv mode
 		}
 	}
+
+	st := harness.Status(opt)
+	if drain.Requested() {
+		fmt.Fprintf(os.Stderr, "zivsim: interrupted: %d job(s) completed (%d cached, %d from checkpoint), %d failed, %d skipped\n",
+			st.Completed, st.CacheHits, st.CheckpointHits, len(st.Failed), len(st.Skipped))
+		if opt.CheckpointFile != "" {
+			fmt.Fprintf(os.Stderr, "zivsim: completed jobs are journaled in %s; rerun with -resume -checkpoint %s to continue\n",
+				opt.CheckpointFile, opt.CheckpointFile)
+		} else {
+			fmt.Fprintln(os.Stderr, "zivsim: no checkpoint was configured; rerun with -checkpoint to make sweeps resumable")
+		}
+		return exitInterrupted
+	}
+	if len(st.Failed) > 0 || experimentPanics > 0 {
+		reportFailures(st, experimentPanics)
+		return exitFailedJobs
+	}
+	return exitOK
+}
+
+// runExperiment runs one experiment with a panic barrier, so a failure
+// outside the per-job recovery (e.g. in table assembly) is reported and
+// the remaining experiments still run. Returns nil on panic.
+func runExperiment(e harness.Experiment, opt harness.Options) (tab *harness.Table) {
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(os.Stderr, "zivsim: experiment %s panicked: %v\n", e.ID, p)
+			tab = nil
+		}
+	}()
+	return e.Run(opt)
+}
+
+// reportFailures prints the failed-job report: one summary line per job
+// plus an indented stack, so a failure in an overnight sweep is
+// diagnosable from the log alone.
+func reportFailures(st harness.SweepStatus, experimentPanics int) {
+	fmt.Fprintf(os.Stderr, "zivsim: %d job(s) failed (%d completed)\n", len(st.Failed), st.Completed)
+	for _, f := range st.Failed {
+		fmt.Fprintf(os.Stderr, "  FAILED %s\n", f)
+		for _, line := range strings.Split(strings.TrimRight(f.Stack, "\n"), "\n") {
+			fmt.Fprintf(os.Stderr, "    %s\n", line)
+		}
+	}
+	if experimentPanics > 0 {
+		fmt.Fprintf(os.Stderr, "zivsim: %d experiment(s) aborted outside the job runner (see panics above)\n", experimentPanics)
+	}
+	fmt.Fprintln(os.Stderr, "zivsim: rerun with -resume -checkpoint <file> to retry only the failed jobs (see OPERATIONS.md)")
 }
 
 // printConfig echoes the simulated machine parameters (the paper's Table I)

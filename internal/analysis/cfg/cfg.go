@@ -32,21 +32,22 @@ type Block struct {
 	// if/for/switch condition appears as its bare ast.Expr) in execution
 	// order.
 	Nodes []ast.Node
-	// Succs and Preds are the control-flow edges.
+	// Succs and Preds are the outgoing and incoming control-flow edges.
 	Succs []*Block
+	// Preds are the incoming control-flow edges.
 	Preds []*Block
 }
 
 // NodePos locates a top-level node inside a Graph.
 type NodePos struct {
-	Block *Block
-	Index int // position within Block.Nodes
+	Block *Block // the containing block
+	Index int    // position within Block.Nodes
 }
 
 // Graph is the CFG of one function body.
 type Graph struct {
-	Blocks []*Block
-	Entry  *Block
+	Blocks []*Block // all blocks, in creation order
+	Entry  *Block   // the function's entry block
 	// Exit is the virtual exit block (no nodes). Normal returns and
 	// falling off the end of the body lead here; panicking paths do not.
 	Exit *Block

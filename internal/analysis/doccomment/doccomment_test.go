@@ -1,0 +1,16 @@
+package doccomment_test
+
+import (
+	"testing"
+
+	"zivsim/internal/analysis/analysistest"
+	"zivsim/internal/analysis/doccomment"
+)
+
+func TestDoccomment(t *testing.T) {
+	analysistest.Run(t, "testdata", doccomment.Analyzer,
+		"zivsim/internal/harness/docfix",
+		"zivsim/internal/obs/nodocfix",
+		"zivsim/internal/metrics/docskip",
+	)
+}

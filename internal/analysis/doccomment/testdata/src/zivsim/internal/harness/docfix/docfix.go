@@ -1,0 +1,54 @@
+// Package docfix exercises the doccomment analyzer inside an audited
+// import path.
+package docfix
+
+// Documented is a documented exported type.
+type Documented struct {
+	// Field carries a leading doc comment.
+	Field   int
+	Inline  int // a trailing line comment also counts
+	Missing int // want `exported field Documented.Missing has no doc comment`
+
+	unexported int
+}
+
+// NewDocumented is documented.
+func NewDocumented() *Documented { return nil }
+
+// Get is a documented method on an exported receiver.
+func (d *Documented) Get() int { return d.Field }
+
+func (d *Documented) Put(v int) { // want `exported method Documented.Put has no doc comment`
+	d.Field = v
+}
+
+type Bare struct{} // want `exported type Bare has no doc comment`
+
+func Exported() {} // want `exported function Exported has no doc comment`
+
+func unexported() {}
+
+// internal types and their methods are internal API, whatever the case
+// of the method name.
+type helper struct{ n int }
+
+func (h helper) Value() int { return h.n }
+
+// Limit documents a single const.
+const Limit = 4
+
+const Leak = 8 // want `exported const Leak has no doc comment`
+
+// Grouped declarations are covered by the block doc.
+const (
+	ModeA = iota
+	ModeB
+)
+
+var Stray = 1 // want `exported var Stray has no doc comment`
+
+var Waived = 2 //ziv:ignore(doccomment) fixture asserts suppression // want:suppressed `exported var Waived has no doc comment`
+
+var internalState int
+
+func use() { _ = unexported; _ = internalState; unexported() }

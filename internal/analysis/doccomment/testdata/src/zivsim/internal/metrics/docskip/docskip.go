@@ -1,0 +1,10 @@
+package docskip
+
+// The package sits outside the audited import-path prefixes, so its
+// undocumented exports produce no diagnostics.
+
+type Bare struct{ Field int }
+
+func Exported() {}
+
+var Stray = 1

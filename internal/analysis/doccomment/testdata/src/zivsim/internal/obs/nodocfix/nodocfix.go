@@ -1,0 +1,4 @@
+package nodocfix // want `package nodocfix has no package doc comment`
+
+// Exported is documented; only the missing package doc is flagged.
+func Exported() {}

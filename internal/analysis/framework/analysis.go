@@ -53,9 +53,9 @@ type Analyzer struct {
 
 // Diagnostic is one reported finding.
 type Diagnostic struct {
-	Pos      token.Position
-	Message  string
-	Analyzer string
+	Pos      token.Position // file, line and column of the finding
+	Message  string         // human-readable description
+	Analyzer string         // name of the reporting analyzer
 }
 
 // String formats the diagnostic the way `go vet` does, with the analyzer
@@ -103,12 +103,12 @@ func (f *Facts) imp(pkgPath, analyzer, key string) (any, bool) {
 // Pass carries one (analyzer, package) unit of work. It mirrors
 // golang.org/x/tools/go/analysis.Pass.
 type Pass struct {
-	Analyzer  *Analyzer
-	Fset      *token.FileSet
-	Files     []*ast.File // non-test files only, with comments
-	Pkg       *types.Package
-	PkgPath   string
-	TypesInfo *types.Info
+	Analyzer  *Analyzer      // the analysis being applied
+	Fset      *token.FileSet // position information for Files
+	Files     []*ast.File    // non-test files only, with comments
+	Pkg       *types.Package // the type-checked package
+	PkgPath   string         // the package's import path
+	TypesInfo *types.Info    // type and object resolution for Files
 	// Facts is the suite-wide fact store (never nil).
 	Facts *Facts
 

@@ -22,10 +22,10 @@ type Baseline struct {
 
 // BaselineEntry is one accepted finding class.
 type BaselineEntry struct {
-	Analyzer string `json:"analyzer"`
-	File     string `json:"file"`
-	Message  string `json:"message"`
-	Count    int    `json:"count"`
+	Analyzer string `json:"analyzer"` // reporting analyzer name
+	File     string `json:"file"`     // repo-relative file of the finding
+	Message  string `json:"message"`  // exact diagnostic message
+	Count    int    `json:"count"`    // accepted occurrences of this class
 }
 
 // baselineVersion is the current file-format version.

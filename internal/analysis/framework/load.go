@@ -19,11 +19,11 @@ import (
 
 // Package is one type-checked target package.
 type Package struct {
-	PkgPath string
-	Fset    *token.FileSet
-	Files   []*ast.File
-	Types   *types.Package
-	Info    *types.Info
+	PkgPath string         // import path
+	Fset    *token.FileSet // position information for Files
+	Files   []*ast.File    // parsed non-test files, with comments
+	Types   *types.Package // type-checked package
+	Info    *types.Info    // type and object resolution for Files
 }
 
 // listedPackage is the subset of `go list -json` output the loader reads.

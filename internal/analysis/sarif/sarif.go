@@ -22,74 +22,74 @@ const (
 
 // Log is the top-level SARIF document.
 type Log struct {
-	Schema  string `json:"$schema"`
-	Version string `json:"version"`
-	Runs    []Run  `json:"runs"`
+	Schema  string `json:"$schema"` // SARIF schema URI
+	Version string `json:"version"` // SARIF spec version
+	Runs    []Run  `json:"runs"`    // one entry per tool invocation
 }
 
 // Run is one tool invocation.
 type Run struct {
-	Tool    Tool     `json:"tool"`
-	Results []Result `json:"results"`
+	Tool    Tool     `json:"tool"`    // the producing tool
+	Results []Result `json:"results"` // findings of this invocation
 }
 
 // Tool wraps the driver description.
 type Tool struct {
-	Driver Driver `json:"driver"`
+	Driver Driver `json:"driver"` // the tool component that produced results
 }
 
 // Driver describes the producing tool and its rule catalog.
 type Driver struct {
-	Name           string `json:"name"`
-	InformationURI string `json:"informationUri,omitempty"`
-	Rules          []Rule `json:"rules"`
+	Name           string `json:"name"`                     // tool name ("zivlint")
+	InformationURI string `json:"informationUri,omitempty"` // project URL
+	Rules          []Rule `json:"rules"`                    // analyzer catalog
 }
 
 // Rule is one analyzer, as a reportingDescriptor.
 type Rule struct {
-	ID               string  `json:"id"`
-	ShortDescription Message `json:"shortDescription"`
+	ID               string  `json:"id"`               // analyzer name
+	ShortDescription Message `json:"shortDescription"` // first line of the analyzer doc
 }
 
 // Result is one finding.
 type Result struct {
-	RuleID    string     `json:"ruleId"`
-	Level     string     `json:"level"`
-	Message   Message    `json:"message"`
-	Locations []Location `json:"locations"`
+	RuleID    string     `json:"ruleId"`    // reporting analyzer name
+	Level     string     `json:"level"`     // severity ("warning")
+	Message   Message    `json:"message"`   // the diagnostic text
+	Locations []Location `json:"locations"` // where the finding occurred
 }
 
 // Message carries human-readable text.
 type Message struct {
-	Text string `json:"text"`
+	Text string `json:"text"` // plain-text content
 }
 
 // Location wraps a physical location.
 type Location struct {
-	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"` // file coordinates
 }
 
 // PhysicalLocation pins a finding to file coordinates.
 type PhysicalLocation struct {
-	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
-	Region           Region           `json:"region"`
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"` // the file
+	Region           Region           `json:"region"`           // position within it
 }
 
 // ArtifactLocation names the file (repo-relative URI).
 type ArtifactLocation struct {
-	URI string `json:"uri"`
+	URI string `json:"uri"` // repo-relative file path
 }
 
 // Region is the 1-based start coordinate.
 type Region struct {
-	StartLine   int `json:"startLine"`
-	StartColumn int `json:"startColumn,omitempty"`
+	StartLine   int `json:"startLine"`             // 1-based line
+	StartColumn int `json:"startColumn,omitempty"` // 1-based column, 0 omitted
 }
 
 // RuleInfo describes one analyzer for the rule catalog.
 type RuleInfo struct {
-	Name string
-	Doc  string
+	Name string // analyzer name
+	Doc  string // analyzer documentation (first line is used)
 }
 
 // New builds a SARIF log from a diagnostic set. root relativizes file

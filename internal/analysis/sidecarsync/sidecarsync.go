@@ -66,8 +66,8 @@ var Analyzer = &framework.Analyzer{
 // empty On list binds whole-element writes, a non-empty one binds
 // writes to those element fields.
 type Rule struct {
-	Mirrors []string
-	On      []string
+	Mirrors []string // sidecar update calls that must follow a write
+	On      []string // element fields the rule binds to (empty = whole element)
 }
 
 // Fact keys exported per package.

@@ -117,3 +117,18 @@ func (r *runner) diskStore(j job, baseL2 int, res Result) {
 		os.Remove(tmp.Name())
 	}
 }
+
+// corruptCacheEntry truncates a job's stored cache entry to half its
+// length. It exists solely for the "corrupt:" FaultSpec directive: the
+// read path must treat the damaged entry as a miss and recompute, which
+// the resilience tests and the CI resume-smoke job assert end to end.
+func (r *runner) corruptCacheEntry(j job, baseL2 int) {
+	path := filepath.Join(r.opt.CacheDir, r.diskKey(j, baseL2)+".json")
+	info, err := os.Stat(path)
+	if err != nil {
+		return
+	}
+	if err := os.Truncate(path, info.Size()/2); err != nil {
+		fmt.Fprintf(os.Stderr, "harness: faultspec corrupt %s: %v\n", path, err)
+	}
+}

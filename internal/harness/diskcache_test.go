@@ -2,10 +2,12 @@ package harness
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -164,5 +166,102 @@ func TestDiskCacheBadKey(t *testing.T) {
 	}
 	if _, err := os.Stat(cacheFile(t, opt)); err != nil {
 		t.Fatalf("recompute did not store under the correct key: %v", err)
+	}
+}
+
+// assertNoTempResidue fails if the cache directory holds anything besides
+// finished .json entries — diskStore's temp files must always be renamed
+// into place or removed.
+func assertNoTempResidue(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		} else if !strings.HasSuffix(e.Name(), ".json") {
+			t.Errorf("unexpected file in cache dir: %s", e.Name())
+		}
+	}
+}
+
+// TestDiskStoreAtomicNoTempResidue: the write path goes through a temp
+// file + rename; a completed store must leave exactly the entry and no
+// temp residue.
+func TestDiskStoreAtomicNoTempResidue(t *testing.T) {
+	opt := cacheTestOptions(t.TempDir())
+	runCacheJob(t, opt)
+	assertNoTempResidue(t, opt.CacheDir)
+	ents, err := os.ReadDir(opt.CacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("cache dir holds %d files, want exactly the one entry", len(ents))
+	}
+}
+
+// TestDiskStoreConcurrentWritersNeverTear hammers one entry with parallel
+// writers while readers continuously load it: because every store is a
+// rename of a fully written temp file, a reader must only ever observe a
+// complete, correct entry — never a partial write.
+func TestDiskStoreConcurrentWritersNeverTear(t *testing.T) {
+	opt := cacheTestOptions(t.TempDir())
+	want := runCacheJob(t, opt)
+	r := isolatedRunner(opt)
+	j, baseL2 := cacheTestJob(opt)
+
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	var readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got, ok := r.diskLoad(j, baseL2); ok && !reflect.DeepEqual(got, want) {
+					select {
+					case errc <- fmt.Errorf("reader observed a torn or wrong entry"):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	var writers sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 50; i++ {
+				r.diskStore(j, baseL2, want)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	assertNoTempResidue(t, opt.CacheDir)
+	got, ok := r.diskLoad(j, baseL2)
+	if !ok {
+		t.Fatal("entry missing after concurrent stores")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("entry differs after concurrent stores")
 	}
 }

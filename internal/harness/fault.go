@@ -1,0 +1,231 @@
+// Fault isolation and deterministic fault injection.
+//
+// Long sweeps must survive a single misbehaving job: a panic inside one
+// simulation is recovered per attempt, retried a bounded number of times
+// (immediately — no wall clock enters the decision path) and, if it keeps
+// failing, recorded as a FailedJob diagnostic instead of killing the
+// sweep. A Drain value coordinates graceful shutdown: once requested, the
+// worker pool stops dispatching new jobs and in-flight simulations either
+// finish or are abandoned when the drain deadline expires.
+//
+// Faults are injected deterministically through Options.FaultSpec so the
+// recovery, retry, checkpoint and drain paths are testable end to end
+// (see resilience_test.go and the CI resume-smoke job). The spec grammar
+// is documented on ParseFaultSpec.
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FailedJob is the diagnostic recorded for a job that exhausted its
+// attempts. It carries everything needed to reproduce the failure in
+// isolation: the configuration label, the mix, and the sweep seed.
+type FailedJob struct {
+	// CfgLabel is the machine-configuration label of the failed job.
+	CfgLabel string
+	// Mix is the workload-mix name of the failed job.
+	Mix string
+	// Seed is the sweep seed; rerunning the same (config, mix) under it
+	// reproduces the failure deterministically.
+	Seed uint64
+	// Attempts is how many times the job was attempted before giving up.
+	Attempts int
+	// Err is the recovered panic value, formatted.
+	Err string
+	// Stack is the goroutine stack captured at the final failing attempt.
+	Stack string
+}
+
+// String renders a one-line summary (the stack is reported separately).
+func (f FailedJob) String() string {
+	return fmt.Sprintf("%s on %s (seed %d): %s after %d attempt(s)",
+		f.CfgLabel, f.Mix, f.Seed, f.Err, f.Attempts)
+}
+
+// Drain coordinates graceful shutdown of a sweep. Request stops the
+// worker pool from dispatching further jobs; in-flight simulations keep
+// running until they finish or Expire is called (the CLI arms a
+// -job-deadline timer when the first signal arrives), at which point the
+// pool abandons them and the sweep returns with those jobs marked
+// skipped. Both transitions are one-way and safe to trigger from any
+// goroutine; the harness itself never consults a clock.
+type Drain struct {
+	reqOnce sync.Once
+	expOnce sync.Once
+	req     chan struct{}
+	exp     chan struct{}
+}
+
+// NewDrain returns a Drain in the running (not requested) state.
+func NewDrain() *Drain {
+	return &Drain{req: make(chan struct{}), exp: make(chan struct{})}
+}
+
+// Request asks the sweep to stop dispatching new jobs. Idempotent.
+func (d *Drain) Request() {
+	d.reqOnce.Do(func() { close(d.req) })
+}
+
+// Requested reports whether a drain has been requested.
+func (d *Drain) Requested() bool {
+	select {
+	case <-d.req:
+		return true
+	default:
+		return false
+	}
+}
+
+// Expire abandons in-flight jobs: the worker pool stops waiting for them
+// and marks them skipped. Expire implies Request. Idempotent.
+func (d *Drain) Expire() {
+	d.Request()
+	d.expOnce.Do(func() { close(d.exp) })
+}
+
+// expired returns a channel closed once the drain deadline has passed.
+// A nil Drain never expires (the returned nil channel blocks forever).
+func (d *Drain) expired() <-chan struct{} {
+	if d == nil {
+		return nil
+	}
+	return d.exp
+}
+
+// faultRule is one parsed FaultSpec directive.
+type faultRule struct {
+	kind     string // "panic", "corrupt", "hang"
+	substr   string // matched against the job key "cfgLabel|mixName"
+	attempts int    // panic: fail attempts <= attempts (0 = every attempt)
+}
+
+// faultPlan is a compiled FaultSpec.
+type faultPlan struct {
+	rules      []faultRule
+	drainAfter int // request a drain after this many completed jobs (0 = never)
+}
+
+// faultHangGate, when non-nil, makes "hang:" faults block: the faulted
+// attempt announces itself on arrived, then waits on release. Tests use
+// the rendezvous to hold a job in flight deterministically (receive from
+// arrived, then expire the drain, then close release); in production the
+// gate is nil and hang faults are inert.
+var faultHangGate *hangGate
+
+// hangGate is the two-phase rendezvous behind "hang:" faults.
+type hangGate struct {
+	arrived chan struct{}
+	release chan struct{}
+}
+
+// ParseFaultSpec validates a deterministic fault-injection spec. The
+// grammar is semicolon-separated directives:
+//
+//	panic:SUBSTR       panic every attempt of jobs whose "cfgLabel|mix"
+//	                   key contains SUBSTR
+//	panic:SUBSTR@N     panic only on attempts 1..N (the job succeeds on
+//	                   attempt N+1 if retries allow)
+//	corrupt:SUBSTR     after the matching job's disk-cache entry is
+//	                   written, truncate it (exercises the corruption-
+//	                   tolerant read path)
+//	hang:SUBSTR        block the matching job on an internal test gate
+//	                   (inert outside the test suite)
+//	drain-after:N      request a graceful drain once N jobs have
+//	                   completed (a deterministic, simulated SIGINT)
+//
+// The zero spec ("") is valid and injects nothing.
+func ParseFaultSpec(spec string) error {
+	_, err := compileFaultSpec(spec)
+	return err
+}
+
+// compileFaultSpec parses spec into an executable plan (nil for "").
+func compileFaultSpec(spec string) (*faultPlan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	plan := &faultPlan{}
+	for _, dir := range strings.Split(spec, ";") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		kind, arg, ok := strings.Cut(dir, ":")
+		if !ok {
+			return nil, fmt.Errorf("faultspec: %q: want KIND:ARG", dir)
+		}
+		switch kind {
+		case "panic":
+			substr, att, hasAt := strings.Cut(arg, "@")
+			rule := faultRule{kind: "panic", substr: substr}
+			if hasAt {
+				n, err := strconv.Atoi(att)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("faultspec: %q: attempt count must be a positive integer", dir)
+				}
+				rule.attempts = n
+			}
+			if rule.substr == "" {
+				return nil, fmt.Errorf("faultspec: %q: empty job substring", dir)
+			}
+			plan.rules = append(plan.rules, rule)
+		case "corrupt", "hang":
+			if arg == "" {
+				return nil, fmt.Errorf("faultspec: %q: empty job substring", dir)
+			}
+			plan.rules = append(plan.rules, faultRule{kind: kind, substr: arg})
+		case "drain-after":
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("faultspec: %q: job count must be a positive integer", dir)
+			}
+			plan.drainAfter = n
+		default:
+			return nil, fmt.Errorf("faultspec: unknown directive kind %q", kind)
+		}
+	}
+	return plan, nil
+}
+
+// beforeAttempt runs the panic/hang faults that apply to an attempt of
+// the job identified by key. Called from inside the recovered attempt, so
+// an injected panic follows the same path as a genuine simulator bug.
+func (p *faultPlan) beforeAttempt(key string, attempt int) {
+	if p == nil {
+		return
+	}
+	for _, r := range p.rules {
+		if !strings.Contains(key, r.substr) {
+			continue
+		}
+		switch r.kind {
+		case "hang":
+			if g := faultHangGate; g != nil {
+				g.arrived <- struct{}{}
+				<-g.release
+			}
+		case "panic":
+			if r.attempts == 0 || attempt <= r.attempts {
+				panic(fmt.Sprintf("faultspec: injected panic for %s (attempt %d)", key, attempt))
+			}
+		}
+	}
+}
+
+// wantsCorrupt reports whether the job's disk-cache entry should be
+// corrupted after it is stored.
+func (p *faultPlan) wantsCorrupt(key string) bool {
+	if p == nil {
+		return false
+	}
+	for _, r := range p.rules {
+		if r.kind == "corrupt" && strings.Contains(key, r.substr) {
+			return true
+		}
+	}
+	return false
+}

@@ -6,7 +6,9 @@ package harness
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -33,12 +35,13 @@ type Options struct {
 	Scale int
 	// Cores is the CMP size for multi-programmed experiments.
 	Cores int
-	// HeteroMixes and HomoMixes set how many mixes of each kind run (the
-	// paper uses 36 + 36).
+	// HeteroMixes sets how many heterogeneous mixes run (paper: 36).
 	HeteroMixes int
-	HomoMixes   int
-	// Warmup and Measure are references per core.
-	Warmup  int
+	// HomoMixes sets how many homogeneous mixes run (paper: 36).
+	HomoMixes int
+	// Warmup is the per-core reference count simulated before measurement.
+	Warmup int
+	// Measure is the per-core reference count of the measured segment.
 	Measure int
 	// TPCECores is the core count of the TPC-E scalability experiment
 	// (paper: 128).
@@ -62,6 +65,33 @@ type Options struct {
 	// the wall-clock domain and writes only to its configured sink
 	// (stderr), never into results.
 	Progress *Progress `json:"-"`
+	// MaxAttempts bounds how many times a panicking job is attempted
+	// before it is recorded as failed; 0 and 1 both mean a single attempt.
+	// Retries are immediate re-executions of the same pure simulation —
+	// no wall clock enters the decision path — so they only help against
+	// faults injected per attempt (and real-world transients like memory
+	// pressure), never against deterministic simulator bugs. Cannot affect
+	// results, so it is excluded from cache keys.
+	MaxAttempts int `json:"-"`
+	// CheckpointFile, when non-empty, journals every completed job to an
+	// append-only checkpoint (conventionally .zivcheckpoint) keyed exactly
+	// like the disk cache, so an interrupted sweep can be resumed. See
+	// checkpoint.go. Excluded from cache keys.
+	CheckpointFile string `json:"-"`
+	// Resume loads CheckpointFile before running and adopts every entry
+	// whose key matches, so finished jobs are skipped. Like the disk
+	// cache, checkpoint reads are bypassed when Obs is set (artifacts need
+	// real runs). Excluded from cache keys.
+	Resume bool `json:"-"`
+	// FaultSpec injects deterministic faults for testing the recovery,
+	// retry, checkpoint and drain machinery; see ParseFaultSpec for the
+	// grammar. Empty injects nothing. Excluded from cache keys.
+	FaultSpec string `json:"-"`
+	// Drain, when non-nil, lets the caller request a graceful shutdown:
+	// dispatching stops, in-flight jobs finish (or are abandoned once the
+	// drain expires), and every undispatched job is marked skipped. The
+	// CLI wires SIGINT/SIGTERM to it. Excluded from cache keys.
+	Drain *Drain `json:"-"`
 }
 
 // DefaultOptions returns laptop-scale settings.
@@ -93,19 +123,19 @@ func PaperOptions() Options {
 
 // Result is everything one simulation produced.
 type Result struct {
-	Config hierarchy.Config
-	Cores  []metrics.CoreStats
-	LLC    core.Stats
-	Dir    directory.Stats
-	Mem    dram.Stats
+	Config hierarchy.Config    // the simulated machine configuration
+	Cores  []metrics.CoreStats // per-core performance counters
+	LLC    core.Stats          // shared last-level cache counters
+	Dir    directory.Stats     // sparse-directory counters
+	Mem    dram.Stats          // DRAM controller counters
 
-	TotalInstr   uint64
+	TotalInstr   uint64  // instructions retired, summed over cores
 	RelocEPI     float64 // pJ/instruction spent on relocation + widened directory
 	RelocSkew    float64 // max/mean relocation-target load across sets
-	TotalL2Miss  uint64
-	TotalLLCMiss uint64
-	TotalIncl    uint64 // back-invalidation inclusion victims
-	TotalDirIncl uint64
+	TotalL2Miss  uint64  // L2 misses, summed over cores
+	TotalLLCMiss uint64  // LLC misses, summed over cores
+	TotalIncl    uint64  // back-invalidation inclusion victims
+	TotalDirIncl uint64  // directory-induced inclusion victims
 }
 
 // runOne simulates one (config, generators) pair. o, when non-nil, is
@@ -150,9 +180,29 @@ type job struct {
 // their configuration matrices (e.g. Figs. 3/4, Figs. 8/9/10) reuse each
 // other's simulations.
 type runner struct {
-	opt     Options
-	mu      sync.Mutex
+	opt Options
+	mu  sync.Mutex
+	// results holds genuinely computed (or cache-/checkpoint-adopted)
+	// Results. Failed and skipped jobs never enter it, so a later runAll
+	// over the same matrix re-attempts them.
 	results map[string]Result
+	// failed records jobs that exhausted their attempts, skipped the jobs
+	// a drain prevented, and placeholders the zero-shaped Results that
+	// keep table rendering total for both. get consults them in order.
+	failed       map[string]FailedJob
+	skipped      map[string]bool
+	placeholders map[string]Result
+	// completedRuns counts real simulations finished this process (cache
+	// and checkpoint hits excluded); the drain-after fault keys off it.
+	completedRuns int
+	cacheHits     int
+	ckptHits      int
+	// manifest accumulates per-job observability outcomes for the sweep
+	// manifest (obs.go); keyed by artifact stem.
+	manifest map[string]manifestRecord
+
+	ckptOnce sync.Once
+	ckpt     *checkpoint
 }
 
 var (
@@ -168,7 +218,14 @@ func newRunner(opt Options) *runner {
 		r.opt = opt
 		return r
 	}
-	r := &runner{opt: opt, results: make(map[string]Result)}
+	r := &runner{
+		opt:          opt,
+		results:      make(map[string]Result),
+		failed:       make(map[string]FailedJob),
+		skipped:      make(map[string]bool),
+		placeholders: make(map[string]Result),
+		manifest:     make(map[string]manifestRecord),
+	}
 	runners[key] = r
 	return r
 }
@@ -180,6 +237,11 @@ func (o Options) normalized() Options {
 	o.CacheDir = ""
 	o.Obs = nil
 	o.Progress = nil
+	o.MaxAttempts = 0
+	o.CheckpointFile = ""
+	o.Resume = false
+	o.FaultSpec = ""
+	o.Drain = nil
 	return o
 }
 
@@ -188,6 +250,11 @@ func (o Options) normalized() Options {
 func ResetMemo() {
 	runnersMu.Lock()
 	defer runnersMu.Unlock()
+	for _, r := range runners {
+		if r.ckpt != nil {
+			r.ckpt.close()
+		}
+	}
 	runners = map[Options]*runner{}
 }
 
@@ -220,7 +287,19 @@ func (j job) cost() int { return j.cfg.Cores }
 // A fixed pool of Parallelism workers drains the sorted list in order,
 // which keeps the dispatch sequence deterministic (results are keyed, so
 // completion order never affects output).
+//
+// The pool is fault-isolated: a panic inside one simulation is recovered,
+// retried up to Options.MaxAttempts times, and finally recorded as a
+// FailedJob — the rest of the sweep is unaffected. Completed jobs are
+// journaled to the checkpoint (when configured) as they finish, and a
+// requested Drain stops dispatch, waits for in-flight jobs until the
+// drain expires, and marks everything left as skipped.
 func (r *runner) runAll(jobs []job, baseL2 int) {
+	plan, err := compileFaultSpec(r.opt.FaultSpec)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v (validate with ParseFaultSpec before running)", err))
+	}
+	drain := r.opt.Drain
 	todo := make([]job, 0, len(jobs))
 	seen := map[string]bool{}
 	for _, j := range jobs {
@@ -236,23 +315,36 @@ func (r *runner) runAll(jobs []job, baseL2 int) {
 			todo = append(todo, j)
 		}
 	}
+	// A sweep that is already draining runs nothing further: later
+	// experiments after an interrupt park their whole matrix as skipped.
+	if drain != nil && drain.Requested() {
+		r.markSkipped(todo)
+		return
+	}
 	if p := r.opt.Progress; p != nil {
 		for _, j := range todo {
 			p.AddJob(j.cost())
 		}
 	}
-	// Observability artifacts come from real runs, so obs runs skip the
-	// disk-cache read path (stores still happen: results stay valid).
+	// Checkpoint and disk-cache adoption. Observability artifacts come
+	// from real runs, so obs runs skip both read paths (stores still
+	// happen: results stay valid).
+	if ck := r.checkpoint(); ck != nil && r.opt.Obs == nil {
+		rest := todo[:0]
+		for _, j := range todo {
+			if res, ok := ck.lookup(r.diskKey(j, baseL2)); ok {
+				r.adopt(j, res, &r.ckptHits)
+				continue
+			}
+			rest = append(rest, j)
+		}
+		todo = rest
+	}
 	if r.opt.CacheDir != "" && r.opt.Obs == nil {
 		rest := todo[:0]
 		for _, j := range todo {
 			if res, ok := r.diskLoad(j, baseL2); ok {
-				r.mu.Lock()
-				r.results[r.key(j.cfgLabel, j.mix.Name)] = res
-				r.mu.Unlock()
-				if p := r.opt.Progress; p != nil {
-					p.JobDone(j.cost(), 0, true)
-				}
+				r.adopt(j, res, &r.cacheHits)
 				continue
 			}
 			rest = append(rest, j)
@@ -280,49 +372,250 @@ func (r *runner) runAll(jobs []job, baseL2 int) {
 		go func() {
 			defer wg.Done()
 			for {
+				if drain != nil && drain.Requested() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(todo) {
 					return
 				}
-				j := todo[i]
-				p := paramsFor(j.cfg, baseL2)
-				gens := workload.BuildMix(j.mix, p, r.opt.Seed)
-				var o *obs.Observer
-				if oo := r.opt.Obs; oo != nil {
-					o = obs.New(j.cfg.Cores, j.cfg.LLCBanks, obs.Config{
-						IntervalCycles: oo.IntervalCycles,
-						MaxIntervals:   oo.MaxIntervals,
-						EventCapacity:  oo.EventCapacity,
-					})
-				}
-				res := runOne(j.cfg, gens, r.opt.Warmup, r.opt.Measure, o)
-				r.mu.Lock()
-				r.results[r.key(j.cfgLabel, j.mix.Name)] = res
-				r.mu.Unlock()
-				if r.opt.CacheDir != "" {
-					r.diskStore(j, baseL2, res)
-				}
-				if o != nil {
-					r.exportObs(j, o)
-				}
-				if p := r.opt.Progress; p != nil {
-					p.JobDone(j.cost(), uint64(len(gens))*uint64(r.opt.Warmup+r.opt.Measure), false)
-				}
+				r.runJob(todo[i], baseL2, plan)
 			}
 		}()
 	}
-	wg.Wait()
+	if drain == nil {
+		wg.Wait()
+	} else {
+		// Wait for the pool, but stop waiting once a requested drain
+		// expires: in-flight jobs are abandoned (their goroutines finish
+		// or die with the process) and reported as skipped.
+		done := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-drain.expired():
+		}
+	}
+	if drain != nil && drain.Requested() {
+		r.markSkipped(todo)
+	}
+	r.flushObsManifest()
 }
 
-// get returns a completed result.
+// runJob runs one job to completion, failure, or abandonment, with
+// bounded immediate retry around recovered panics.
+func (r *runner) runJob(j job, baseL2 int, plan *faultPlan) {
+	k := r.key(j.cfgLabel, j.mix.Name)
+	attempts := r.opt.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var last FailedJob
+	for a := 1; a <= attempts; a++ {
+		res, o, failure := r.attemptJob(j, baseL2, plan, a)
+		if failure == nil {
+			r.mu.Lock()
+			r.results[k] = res
+			delete(r.failed, k)
+			delete(r.skipped, k)
+			delete(r.placeholders, k)
+			r.completedRuns++
+			n := r.completedRuns
+			r.mu.Unlock()
+			if ck := r.checkpoint(); ck != nil {
+				ck.record(r.diskKey(j, baseL2), j.cfgLabel, j.mix.Name, res)
+			}
+			if r.opt.CacheDir != "" {
+				r.diskStore(j, baseL2, res)
+				if plan.wantsCorrupt(k) {
+					r.corruptCacheEntry(j, baseL2)
+				}
+			}
+			if o != nil {
+				r.exportObs(j, o)
+			}
+			if p := r.opt.Progress; p != nil {
+				p.JobDone(j.cost(), uint64(j.cfg.Cores)*uint64(r.opt.Warmup+r.opt.Measure), false)
+			}
+			if plan != nil && plan.drainAfter > 0 && n == plan.drainAfter && r.opt.Drain != nil {
+				r.opt.Drain.Request()
+			}
+			return
+		}
+		last = *failure
+	}
+	last.Attempts = attempts
+	r.mu.Lock()
+	r.failed[k] = last
+	r.placeholders[k] = placeholderResult(j)
+	r.mu.Unlock()
+	r.noteObsOutcome(j, "failed", nil)
+	if p := r.opt.Progress; p != nil {
+		p.JobFailed(j.cost())
+	}
+}
+
+// attemptJob performs one recovered attempt of a job. A panic — the
+// simulator's invariant checks panic by design, and FaultSpec injects
+// panics on the same path — becomes a FailedJob carrying the stack.
+func (r *runner) attemptJob(j job, baseL2 int, plan *faultPlan, attempt int) (res Result, o *obs.Observer, failure *FailedJob) {
+	defer func() {
+		if p := recover(); p != nil {
+			failure = &FailedJob{
+				CfgLabel: j.cfgLabel,
+				Mix:      j.mix.Name,
+				Seed:     r.opt.Seed,
+				Attempts: attempt,
+				Err:      fmt.Sprint(p),
+				Stack:    string(debug.Stack()),
+			}
+			o = nil
+		}
+	}()
+	plan.beforeAttempt(r.key(j.cfgLabel, j.mix.Name), attempt)
+	p := paramsFor(j.cfg, baseL2)
+	gens := workload.BuildMix(j.mix, p, r.opt.Seed)
+	if oo := r.opt.Obs; oo != nil {
+		o = obs.New(j.cfg.Cores, j.cfg.LLCBanks, obs.Config{
+			IntervalCycles: oo.IntervalCycles,
+			MaxIntervals:   oo.MaxIntervals,
+			EventCapacity:  oo.EventCapacity,
+		})
+	}
+	res = runOne(j.cfg, gens, r.opt.Warmup, r.opt.Measure, o)
+	return res, o, nil
+}
+
+// adopt installs a cache- or checkpoint-served Result and advances the
+// matching hit counter plus the progress line.
+func (r *runner) adopt(j job, res Result, hits *int) {
+	k := r.key(j.cfgLabel, j.mix.Name)
+	r.mu.Lock()
+	r.results[k] = res
+	delete(r.failed, k)
+	delete(r.skipped, k)
+	delete(r.placeholders, k)
+	*hits++
+	r.mu.Unlock()
+	if p := r.opt.Progress; p != nil {
+		p.JobDone(j.cost(), 0, true)
+	}
+}
+
+// markSkipped records every job of the slice that has neither completed
+// nor failed as skipped by the drain, with a placeholder result so table
+// rendering stays total.
+func (r *runner) markSkipped(jobs []job) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, j := range jobs {
+		k := r.key(j.cfgLabel, j.mix.Name)
+		if _, done := r.results[k]; done {
+			continue
+		}
+		if _, failed := r.failed[k]; failed {
+			continue
+		}
+		r.skipped[k] = true
+		r.placeholders[k] = placeholderResult(j)
+		r.noteObsOutcomeLocked(j, "skipped", nil)
+	}
+}
+
+// checkpoint lazily opens the sweep checkpoint named by the options, once
+// per runner; nil when checkpointing is off or the file is unusable.
+func (r *runner) checkpoint() *checkpoint {
+	if r.opt.CheckpointFile == "" {
+		return nil
+	}
+	r.ckptOnce.Do(func() {
+		ck, err := openCheckpoint(r.opt.CheckpointFile, r.opt.Resume, r.opt.checkpointOptionsHash())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "harness: checkpoint %s: %v (checkpointing disabled)\n", r.opt.CheckpointFile, err)
+			return
+		}
+		r.ckpt = ck
+	})
+	return r.ckpt
+}
+
+// placeholderResult is the zero-valued stand-in stored for failed and
+// skipped jobs: core-count-shaped so metric helpers (which insist on
+// matching core counts) render zeros instead of panicking.
+func placeholderResult(j job) Result {
+	return Result{Config: j.cfg, Cores: make([]metrics.CoreStats, j.cfg.Cores)}
+}
+
+// get returns a completed result, or the zero-shaped placeholder for a
+// job that failed or was skipped by a drain (Status reports which).
+// A key the sweep never scheduled is still a programming error.
 func (r *runner) get(cfgLabel, mixName string) Result {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	res, ok := r.results[r.key(cfgLabel, mixName)]
-	if !ok {
-		panic(fmt.Sprintf("harness: missing result for %s on %s", cfgLabel, mixName))
+	if ok {
+		return res
 	}
-	return res
+	if ph, ok := r.placeholders[r.key(cfgLabel, mixName)]; ok {
+		return ph
+	}
+	panic(fmt.Sprintf("harness: missing result for %s on %s", cfgLabel, mixName))
+}
+
+// SweepStatus summarizes the job-level outcomes of the sweeps run so far
+// under one Options value (all experiments share a runner, so this is the
+// whole `-fig all` picture).
+type SweepStatus struct {
+	// Completed counts jobs with a real Result, whether simulated this
+	// process or adopted from the disk cache or checkpoint.
+	Completed int
+	// CacheHits counts jobs served by the persistent disk cache.
+	CacheHits int
+	// CheckpointHits counts jobs adopted from a resumed checkpoint.
+	CheckpointHits int
+	// Failed lists jobs that exhausted their attempts, sorted by
+	// (config label, mix).
+	Failed []FailedJob
+	// Skipped lists the "cfgLabel|mix" keys a drain prevented from
+	// running, sorted.
+	Skipped []string
+}
+
+// Status reports the sweep status for an Options value; the zero status
+// if no sweep has run under it. The exit-code and failed-job reporting in
+// cmd/zivsim is built on it. Unlike newRunner, the lookup never updates
+// the runner's options: Status may be called while an expired drain has
+// left an abandoned job in flight, and that job still reads them.
+func Status(opt Options) SweepStatus {
+	runnersMu.Lock()
+	r := runners[opt.normalized()]
+	runnersMu.Unlock()
+	if r == nil {
+		return SweepStatus{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := SweepStatus{
+		Completed:      len(r.results),
+		CacheHits:      r.cacheHits,
+		CheckpointHits: r.ckptHits,
+	}
+	var failedKeys []string
+	for k := range r.failed {
+		failedKeys = append(failedKeys, k)
+	}
+	sort.Strings(failedKeys)
+	for _, k := range failedKeys {
+		st.Failed = append(st.Failed, r.failed[k])
+	}
+	for k := range r.skipped {
+		st.Skipped = append(st.Skipped, k)
+	}
+	sort.Strings(st.Skipped)
+	return st
 }
 
 // mixes picks the experiment's workload mixes per the options.
@@ -351,16 +644,16 @@ func max(a, b int) int {
 
 // Table is a rendered experiment result.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    []Row
-	Notes   []string
+	Title   string   // heading printed above the table
+	Columns []string // column headers, one per value in each row
+	Rows    []Row    // labeled data series
+	Notes   []string // free-form footnotes appended after the rows
 }
 
 // Row is one labeled series of values.
 type Row struct {
-	Label  string
-	Values []float64
+	Label  string    // series name, printed in the first column
+	Values []float64 // one value per Table column
 }
 
 // Format renders the table as aligned text.
@@ -411,9 +704,9 @@ func (t *Table) CSV() string {
 
 // Experiment is one reproducible figure.
 type Experiment struct {
-	ID    string
-	Title string
-	Run   func(Options) *Table
+	ID    string               // stable identifier ("fig8"), the -fig selector
+	Title string               // human-readable figure title
+	Run   func(Options) *Table // computes the figure under the given options
 }
 
 var experiments []Experiment

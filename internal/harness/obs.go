@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"zivsim/internal/obs"
@@ -41,9 +42,10 @@ func artifactStem(cfgLabel, mixName string) string {
 	return b.String()
 }
 
-// exportObs writes one job's observability artifacts under Obs.OutDir.
-// Export errors never fail the run: they are reported to stderr and the
-// simulation result stands.
+// exportObs writes one job's observability artifacts under Obs.OutDir
+// and records the outcome for the sweep manifest. Export errors never
+// fail the run: they are reported to stderr and the simulation result
+// stands.
 func (r *runner) exportObs(j job, o *obs.Observer) {
 	oo := r.opt.Obs
 	if oo == nil || oo.OutDir == "" {
@@ -55,35 +57,116 @@ func (r *runner) exportObs(j job, o *obs.Observer) {
 	}
 	stem := filepath.Join(oo.OutDir, artifactStem(j.cfgLabel, j.mix.Name))
 	label := j.cfgLabel + " / " + j.mix.Name
-	writeArtifact(stem+".trace.json", func(f *os.File) error {
+	var written []string
+	if writeArtifact(stem+".trace.json", func(f *os.File) error {
 		return obs.WriteChromeTrace(f, o, label)
-	})
+	}) {
+		written = append(written, artifactStem(j.cfgLabel, j.mix.Name)+".trace.json")
+	}
 	if o.Ring != nil {
-		writeArtifact(stem+".events.ndjson", func(f *os.File) error {
+		if writeArtifact(stem+".events.ndjson", func(f *os.File) error {
 			return obs.WriteNDJSON(f, o)
-		})
+		}) {
+			written = append(written, artifactStem(j.cfgLabel, j.mix.Name)+".events.ndjson")
+		}
 	}
 	if o.Config().IntervalCycles > 0 {
-		writeArtifact(stem+".intervals.csv", func(f *os.File) error {
+		if writeArtifact(stem+".intervals.csv", func(f *os.File) error {
 			return obs.WriteIntervalCSV(f, o)
-		})
+		}) {
+			written = append(written, artifactStem(j.cfgLabel, j.mix.Name)+".intervals.csv")
+		}
+	}
+	r.noteObsOutcome(j, "completed", written)
+}
+
+// manifestRecord is the runner-internal accumulation of one job's
+// manifest entry.
+type manifestRecord struct {
+	label     string
+	status    string
+	artifacts []string
+}
+
+// noteObsOutcome records a job's observability outcome ("completed",
+// "failed", "skipped") for the sweep manifest. No-op when the sweep has
+// no artifact directory.
+func (r *runner) noteObsOutcome(j job, status string, artifacts []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.noteObsOutcomeLocked(j, status, artifacts)
+}
+
+// noteObsOutcomeLocked is noteObsOutcome for callers holding r.mu.
+func (r *runner) noteObsOutcomeLocked(j job, status string, artifacts []string) {
+	oo := r.opt.Obs
+	if oo == nil || oo.OutDir == "" {
+		return
+	}
+	r.manifest[artifactStem(j.cfgLabel, j.mix.Name)] = manifestRecord{
+		label:     j.cfgLabel + " / " + j.mix.Name,
+		status:    status,
+		artifacts: artifacts,
 	}
 }
 
+// flushObsManifest rewrites <OutDir>/manifest.json from the outcomes
+// recorded so far. It runs at the end of every runAll — a drained sweep
+// included — so partial artifact directories always carry an index of
+// what was and was not produced.
+func (r *runner) flushObsManifest() {
+	oo := r.opt.Obs
+	if oo == nil || oo.OutDir == "" {
+		return
+	}
+	r.mu.Lock()
+	m := obs.Manifest{Status: "complete"}
+	stems := make([]string, 0, len(r.manifest))
+	for stem := range r.manifest {
+		stems = append(stems, stem)
+	}
+	sort.Strings(stems)
+	for _, stem := range stems {
+		rec := r.manifest[stem]
+		if rec.status != "completed" {
+			m.Status = "partial"
+		}
+		m.Entries = append(m.Entries, obs.ManifestEntry{
+			Label:     rec.label,
+			Stem:      stem,
+			Status:    rec.status,
+			Artifacts: rec.artifacts,
+		})
+	}
+	if d := r.opt.Drain; d != nil && d.Requested() {
+		m.Status = "partial"
+	}
+	r.mu.Unlock()
+	if err := os.MkdirAll(oo.OutDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "obs: creating %s: %v\n", oo.OutDir, err)
+		return
+	}
+	writeArtifact(filepath.Join(oo.OutDir, "manifest.json"), func(f *os.File) error {
+		return obs.WriteManifest(f, m)
+	})
+}
+
 // writeArtifact creates path and runs the writer, reporting any failure
-// to stderr.
-func writeArtifact(path string, write func(*os.File) error) {
+// to stderr; it returns whether the artifact was written completely.
+func writeArtifact(path string, write func(*os.File) error) bool {
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "obs: %v\n", err)
-		return
+		return false
 	}
 	if err := write(f); err != nil {
 		f.Close()
 		fmt.Fprintf(os.Stderr, "obs: writing %s: %v\n", path, err)
-		return
+		return false
 	}
 	if err := f.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "obs: closing %s: %v\n", path, err)
+		return false
 	}
+	return true
 }

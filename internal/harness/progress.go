@@ -18,16 +18,17 @@ type Progress struct {
 	out io.Writer
 	now func() time.Time
 
-	mu        sync.Mutex
-	started   bool
-	start     time.Time
-	last      time.Time
-	totalJobs int
-	doneJobs  int
-	cacheHits int
-	totalWt   int64
-	doneWt    int64
-	refs      uint64
+	mu         sync.Mutex
+	started    bool
+	start      time.Time
+	last       time.Time
+	totalJobs  int
+	doneJobs   int
+	failedJobs int
+	cacheHits  int
+	totalWt    int64
+	doneWt     int64
+	refs       uint64
 }
 
 // NewProgress builds a reporter writing to out, reading wall-clock time
@@ -61,6 +62,18 @@ func (p *Progress) JobDone(weight int, refs uint64, fromCache bool) {
 	p.render(p.doneJobs == p.totalJobs)
 }
 
+// JobFailed records one run that exhausted its attempts and was recorded
+// as a FailedJob: it consumes the job's scheduled weight (so the ETA
+// keeps converging) without counting as done, and surfaces a failure
+// count on the progress line.
+func (p *Progress) JobFailed(weight int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failedJobs++
+	p.doneWt += int64(weight)
+	p.render(p.doneJobs+p.failedJobs == p.totalJobs)
+}
+
 // Finish prints the final state and terminates the line.
 func (p *Progress) Finish() {
 	p.mu.Lock()
@@ -92,6 +105,10 @@ func (p *Progress) render(force bool) {
 	} else if p.totalWt == p.doneWt {
 		eta = "0s"
 	}
-	fmt.Fprintf(p.out, "\r%d/%d runs | %d cached | %.2fM refs/s | ETA %s   ",
-		p.doneJobs, p.totalJobs, p.cacheHits, rate/1e6, eta)
+	failed := ""
+	if p.failedJobs > 0 {
+		failed = fmt.Sprintf(" | %d failed", p.failedJobs)
+	}
+	fmt.Fprintf(p.out, "\r%d/%d runs | %d cached%s | %.2fM refs/s | ETA %s   ",
+		p.doneJobs, p.totalJobs, p.cacheHits, failed, rate/1e6, eta)
 }

@@ -1,0 +1,400 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The resilience suite proves the ISSUE acceptance criteria end to end:
+// a single panicking job fails that job only; an interrupted-then-resumed
+// sweep (via deterministic fault injection standing in for SIGINT)
+// produces byte-identical figure tables to an uninterrupted run; and the
+// checkpoint journal tolerates the crashes it exists for.
+
+// faultedJob is the one fig1 job every fault in this file targets. Fault
+// substrings match any key containing them, so the NI- label is used: it
+// is not a substring of any other fig1 key (unlike "I-LRU-256KB", which
+// "NI-LRU-256KB|..." also contains).
+const faultedJob = "NI-LRU-256KB|hetero.00"
+
+// resilienceOptions returns fast, serial options. Parallelism 1 makes the
+// dispatch order — and therefore drain-after interruption points —
+// deterministic.
+func resilienceOptions() Options {
+	o := smallOptions()
+	o.Parallelism = 1
+	return o
+}
+
+// fig1Table runs fig1 under o and renders it.
+func fig1Table(t *testing.T, o Options) string {
+	t.Helper()
+	e, ok := ByID("fig1")
+	if !ok {
+		t.Fatal("fig1 not registered")
+	}
+	return e.Run(o).Format()
+}
+
+// cleanFig1 memoizes one uninterrupted fig1 run — the byte-identity
+// reference every resilience test compares against.
+var cleanFig1 struct {
+	once  sync.Once
+	table string
+	jobs  int
+}
+
+func cleanFig1Run(t *testing.T) (table string, jobs int) {
+	t.Helper()
+	cleanFig1.once.Do(func() {
+		o := resilienceOptions()
+		ResetMemo()
+		cleanFig1.table = fig1Table(t, o)
+		cleanFig1.jobs = Status(o).Completed
+	})
+	if cleanFig1.jobs == 0 {
+		t.Fatal("clean fig1 run completed no jobs")
+	}
+	return cleanFig1.table, cleanFig1.jobs
+}
+
+// TestPanicFailsOnlyThatJob: a panic inside one simulation must be
+// recovered, recorded as a FailedJob with its stack, and leave every
+// other job's result intact.
+func TestPanicFailsOnlyThatJob(t *testing.T) {
+	_, total := cleanFig1Run(t)
+
+	o := resilienceOptions()
+	o.FaultSpec = "panic:" + faultedJob
+	ResetMemo()
+	fig1Table(t, o) // must not panic: the failed cell renders as zeros
+
+	st := Status(o)
+	if len(st.Failed) != 1 {
+		t.Fatalf("got %d failed jobs, want exactly 1: %v", len(st.Failed), st.Failed)
+	}
+	fj := st.Failed[0]
+	if fj.CfgLabel != "NI-LRU-256KB" || fj.Mix != "hetero.00" {
+		t.Errorf("failed job is %s on %s, want the faulted job", fj.CfgLabel, fj.Mix)
+	}
+	if fj.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1 (MaxAttempts unset)", fj.Attempts)
+	}
+	if !strings.Contains(fj.Err, "injected panic") {
+		t.Errorf("Err = %q, want the recovered panic value", fj.Err)
+	}
+	if !strings.Contains(fj.Stack, "attemptJob") {
+		t.Errorf("Stack does not show the failing attempt:\n%s", fj.Stack)
+	}
+	if st.Completed != total-1 {
+		t.Errorf("Completed = %d, want %d (every job but the panicking one)", st.Completed, total-1)
+	}
+	if len(st.Skipped) != 0 {
+		t.Errorf("Skipped = %v, want none (no drain was requested)", st.Skipped)
+	}
+}
+
+// TestRetryRecoversTransientFault: a fault confined to attempt 1 must be
+// invisible under MaxAttempts 2 — same table bytes as a clean run, no
+// FailedJob.
+func TestRetryRecoversTransientFault(t *testing.T) {
+	clean, total := cleanFig1Run(t)
+
+	o := resilienceOptions()
+	o.FaultSpec = "panic:" + faultedJob + "@1"
+	o.MaxAttempts = 2
+	ResetMemo()
+	got := fig1Table(t, o)
+
+	if got != clean {
+		t.Errorf("retried run differs from clean run:\nclean:\n%s\nretried:\n%s", clean, got)
+	}
+	st := Status(o)
+	if len(st.Failed) != 0 {
+		t.Errorf("Failed = %v, want none (attempt 2 succeeds)", st.Failed)
+	}
+	if st.Completed != total {
+		t.Errorf("Completed = %d, want %d", st.Completed, total)
+	}
+}
+
+// TestDrainResumeByteIdentical: interrupt a checkpointed sweep with the
+// drain-after fault (the deterministic stand-in for SIGINT), then resume
+// it in a fresh runner — the resumed figure must be byte-identical to an
+// uninterrupted run, with the finished jobs adopted from the journal.
+func TestDrainResumeByteIdentical(t *testing.T) {
+	clean, total := cleanFig1Run(t)
+	ckpt := filepath.Join(t.TempDir(), "ck")
+
+	o := resilienceOptions()
+	o.CheckpointFile = ckpt
+	o.FaultSpec = "drain-after:3"
+	o.Drain = NewDrain()
+	ResetMemo()
+	fig1Table(t, o) // partial: the drain parks the rest of the matrix
+
+	if !o.Drain.Requested() {
+		t.Fatal("drain-after fault did not request a drain")
+	}
+	st := Status(o)
+	if st.Completed != 3 {
+		t.Fatalf("interrupted run completed %d jobs, want 3 (Parallelism 1)", st.Completed)
+	}
+	if len(st.Skipped) != total-3 {
+		t.Fatalf("interrupted run skipped %d jobs, want %d", len(st.Skipped), total-3)
+	}
+
+	r := resilienceOptions()
+	r.CheckpointFile = ckpt
+	r.Resume = true
+	ResetMemo()
+	got := fig1Table(t, r)
+
+	if got != clean {
+		t.Errorf("resumed run differs from uninterrupted run:\nclean:\n%s\nresumed:\n%s", clean, got)
+	}
+	rst := Status(r)
+	if rst.CheckpointHits != 3 {
+		t.Errorf("CheckpointHits = %d, want 3 (the jobs finished before the drain)", rst.CheckpointHits)
+	}
+	if rst.Completed != total || len(rst.Skipped) != 0 || len(rst.Failed) != 0 {
+		t.Errorf("resumed status = %d completed, %d skipped, %d failed; want %d/0/0",
+			rst.Completed, len(rst.Skipped), len(rst.Failed), total)
+	}
+}
+
+// TestResumeRetriesFailedJob: a failed job is never journaled, so a
+// resumed sweep re-attempts exactly it — and only it — then matches the
+// clean run byte for byte.
+func TestResumeRetriesFailedJob(t *testing.T) {
+	clean, total := cleanFig1Run(t)
+	ckpt := filepath.Join(t.TempDir(), "ck")
+
+	o := resilienceOptions()
+	o.CheckpointFile = ckpt
+	o.FaultSpec = "panic:" + faultedJob
+	ResetMemo()
+	fig1Table(t, o)
+	if st := Status(o); len(st.Failed) != 1 || st.Completed != total-1 {
+		t.Fatalf("faulted run: %d completed, %d failed; want %d completed, 1 failed",
+			st.Completed, len(st.Failed), total-1)
+	}
+
+	r := resilienceOptions()
+	r.CheckpointFile = ckpt
+	r.Resume = true
+	ResetMemo()
+	refsBefore := SimulatedRefs()
+	got := fig1Table(t, r)
+
+	if got != clean {
+		t.Errorf("resumed run differs from clean run:\nclean:\n%s\nresumed:\n%s", clean, got)
+	}
+	// Exactly one real simulation: the formerly failed job.
+	oneJob := uint64(r.Cores) * uint64(r.Warmup+r.Measure)
+	if simulated := SimulatedRefs() - refsBefore; simulated != oneJob {
+		t.Errorf("resume simulated %d refs, want %d (one job)", simulated, oneJob)
+	}
+	rst := Status(r)
+	if rst.CheckpointHits != total-1 || len(rst.Failed) != 0 {
+		t.Errorf("resumed status: %d checkpoint hits, %d failed; want %d hits, 0 failed",
+			rst.CheckpointHits, len(rst.Failed), total-1)
+	}
+}
+
+// TestCorruptCacheEntryRecomputed: a disk-cache entry torn after being
+// stored (the corrupt: fault) must read as a miss on the next run, and
+// the recompute must restore byte-identical output.
+func TestCorruptCacheEntryRecomputed(t *testing.T) {
+	clean, total := cleanFig1Run(t)
+
+	o := resilienceOptions()
+	o.CacheDir = t.TempDir()
+	o.FaultSpec = "corrupt:" + faultedJob
+	ResetMemo()
+	if got := fig1Table(t, o); got != clean {
+		t.Errorf("corruption happens after the result is recorded; table must match clean run:\n%s", got)
+	}
+
+	r := o
+	r.FaultSpec = ""
+	ResetMemo()
+	refsBefore := SimulatedRefs()
+	got := fig1Table(t, r)
+
+	if got != clean {
+		t.Errorf("rerun over corrupted cache differs from clean run:\nclean:\n%s\nrerun:\n%s", clean, got)
+	}
+	st := Status(r)
+	if st.CacheHits != total-1 {
+		t.Errorf("CacheHits = %d, want %d (every entry but the corrupted one)", st.CacheHits, total-1)
+	}
+	oneJob := uint64(r.Cores) * uint64(r.Warmup+r.Measure)
+	if simulated := SimulatedRefs() - refsBefore; simulated != oneJob {
+		t.Errorf("rerun simulated %d refs, want %d (only the corrupted entry)", simulated, oneJob)
+	}
+}
+
+// TestCheckpointTornTailTolerated: a journal whose final append was torn
+// by a crash must still resume every complete entry.
+func TestCheckpointTornTailTolerated(t *testing.T) {
+	clean, total := cleanFig1Run(t)
+	ckpt := filepath.Join(t.TempDir(), "ck")
+
+	o := resilienceOptions()
+	o.CheckpointFile = ckpt
+	ResetMemo()
+	fig1Table(t, o)
+	ResetMemo() // close the journal handle
+
+	f, err := os.OpenFile(ckpt, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"deadbeef","cfg":"torn-by-`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := resilienceOptions()
+	r.CheckpointFile = ckpt
+	r.Resume = true
+	refsBefore := SimulatedRefs()
+	got := fig1Table(t, r)
+
+	if got != clean {
+		t.Errorf("resume over torn journal differs from clean run:\nclean:\n%s\nresumed:\n%s", clean, got)
+	}
+	if st := Status(r); st.CheckpointHits != total {
+		t.Errorf("CheckpointHits = %d, want %d (the torn line is dropped, complete entries kept)",
+			st.CheckpointHits, total)
+	}
+	if simulated := SimulatedRefs() - refsBefore; simulated != 0 {
+		t.Errorf("resume simulated %d refs, want 0", simulated)
+	}
+}
+
+// TestCheckpointOptionsMismatchIgnored: a journal taken under different
+// result-affecting options must be ignored wholesale, while
+// result-neutral options share the same identity.
+func TestCheckpointOptionsMismatchIgnored(t *testing.T) {
+	a := resilienceOptions()
+
+	par := a
+	par.Parallelism = 7
+	par.CheckpointFile = "/elsewhere"
+	if a.checkpointOptionsHash() != par.checkpointOptionsHash() {
+		t.Error("result-neutral options changed the checkpoint identity")
+	}
+	b := a
+	b.Seed++
+	if a.checkpointOptionsHash() == b.checkpointOptionsHash() {
+		t.Fatal("changing Seed did not change the checkpoint identity")
+	}
+
+	path := filepath.Join(t.TempDir(), "ck")
+	ck, err := openCheckpoint(path, false, a.checkpointOptionsHash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.record("k1", "cfg", "mix", Result{})
+	ck.close()
+
+	same, err := openCheckpoint(path, true, a.checkpointOptionsHash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := same.lookup("k1"); !ok {
+		t.Error("matching-options resume lost the journaled entry")
+	}
+	same.close()
+
+	other, err := openCheckpoint(path, true, b.checkpointOptionsHash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := other.lookup("k1"); ok {
+		t.Error("resume adopted an entry journaled under different options")
+	}
+	other.close()
+}
+
+// TestDrainExpireAbandonsInFlightJob: an expired drain must stop waiting
+// for a wedged in-flight job and report it skipped, instead of hanging
+// the sweep forever.
+func TestDrainExpireAbandonsInFlightJob(t *testing.T) {
+	o := resilienceOptions()
+	o.FaultSpec = "hang:" + faultedJob
+	o.Drain = NewDrain()
+	gate := &hangGate{arrived: make(chan struct{}), release: make(chan struct{})}
+	faultHangGate = gate
+
+	ResetMemo()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e, _ := ByID("fig1")
+		e.Run(o)
+	}()
+
+	<-gate.arrived // the faulted job is now wedged in flight
+	o.Drain.Request()
+	o.Drain.Expire()
+	<-done // the sweep returned without waiting for the wedged job
+
+	st := Status(o)
+	// Release the abandoned goroutine and wait for it to finish, so its
+	// late simulation cannot leak SimulatedRefs into any later test.
+	faultHangGate = nil
+	close(gate.release)
+	for Status(o).Completed == st.Completed {
+		runtime.Gosched()
+	}
+
+	found := false
+	for _, k := range st.Skipped {
+		if k == faultedJob {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Skipped = %v, want it to include the abandoned job %q", st.Skipped, faultedJob)
+	}
+}
+
+// TestParseFaultSpec pins the grammar's accept/reject behavior.
+func TestParseFaultSpec(t *testing.T) {
+	valid := []string{
+		"",
+		"panic:I-LRU",
+		"panic:I-LRU@2",
+		"corrupt:hetero.00; hang:homo",
+		"drain-after:5",
+		"panic:a@1;corrupt:b;drain-after:1",
+	}
+	for _, s := range valid {
+		if err := ParseFaultSpec(s); err != nil {
+			t.Errorf("ParseFaultSpec(%q) = %v, want nil", s, err)
+		}
+	}
+	invalid := []string{
+		"panic",             // no argument
+		"panic:",            // empty substring
+		"panic:x@zero",      // non-numeric attempt count
+		"panic:x@0",         // attempt count must be >= 1
+		"corrupt:",          // empty substring
+		"drain-after:x",     // non-numeric job count
+		"drain-after:-1",    // negative job count
+		"explode:x",         // unknown directive
+		"panic:x;explode:y", // one bad directive rejects the spec
+	}
+	for _, s := range invalid {
+		if err := ParseFaultSpec(s); err == nil {
+			t.Errorf("ParseFaultSpec(%q) = nil, want an error", s)
+		}
+	}
+}

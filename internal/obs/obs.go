@@ -90,12 +90,12 @@ func (k EventKind) String() string {
 // Event is one probe firing, stamped with the simulated cycle of the
 // issuing core. It is a plain value: recording one allocates nothing.
 type Event struct {
-	Cycle uint64
-	Addr  uint64
-	Arg   uint64
-	Kind  EventKind
-	Core  int16 // issuing/victim core, -1 when not attributable
-	Bank  int16 // LLC bank, -1 when not attributable
+	Cycle uint64    // simulated cycle of the issuing core at the probe
+	Addr  uint64    // block address the event concerns, 0 when not applicable
+	Arg   uint64    // event-specific payload (way, depth, target set, ...)
+	Kind  EventKind // which probe fired
+	Core  int16     // issuing/victim core, -1 when not attributable
+	Bank  int16     // LLC bank, -1 when not attributable
 }
 
 // RingStats counts ring-buffer activity since the last Reset.
@@ -117,6 +117,7 @@ type Ring struct {
 	events []Event
 	next   int
 
+	// Stats counts recorded and overwritten events since the last Reset.
 	Stats RingStats
 }
 

@@ -5,30 +5,30 @@ package obs
 // every sampling boundary, and the Observer turns consecutive snapshots
 // into per-interval deltas.
 type CoreSnap struct {
-	Refs         uint64
-	Instructions uint64
-	Cycles       uint64
-	L1Misses     uint64
-	L2Misses     uint64
-	LLCMisses    uint64
-	InclVictims  uint64
-	DirVictims   uint64
+	Refs         uint64 // memory references issued
+	Instructions uint64 // instructions retired
+	Cycles       uint64 // core-local cycles elapsed
+	L1Misses     uint64 // L1 data-cache misses
+	L2Misses     uint64 // private L2 misses
+	LLCMisses    uint64 // shared LLC misses
+	InclVictims  uint64 // back-invalidation inclusion victims suffered
+	DirVictims   uint64 // directory-induced inclusion victims suffered
 }
 
 // MachineSnap is the cumulative machine-wide counter set the sampler
 // diffs. QueueDepth is instantaneous (busy DRAM banks at the boundary),
 // not diffed.
 type MachineSnap struct {
-	Relocations      uint64
-	CrossBankRelocs  uint64
-	AlternateVictims uint64
-	Evictions        uint64
-	InPrCEvictions   uint64
-	DirEvictions     uint64
-	DirSpills        uint64
-	DRAMReads        uint64
-	DRAMWrites       uint64
-	QueueDepth       uint64
+	Relocations      uint64 // ZIV relocations performed by the LLC
+	CrossBankRelocs  uint64 // relocations that crossed an LLC bank
+	AlternateVictims uint64 // evictions redirected to an alternate victim
+	Evictions        uint64 // LLC evictions
+	InPrCEvictions   uint64 // evictions of blocks present in a private cache
+	DirEvictions     uint64 // sparse-directory entry evictions
+	DirSpills        uint64 // directory spills to the widened region
+	DRAMReads        uint64 // DRAM read transactions
+	DRAMWrites       uint64 // DRAM write transactions
+	QueueDepth       uint64 // busy DRAM banks at the sampling boundary
 }
 
 // CoreSample is one interval's per-core counter deltas. detflow treats
@@ -36,19 +36,19 @@ type MachineSnap struct {
 // the Stats rule), so nondeterministic values cannot leak into exported
 // intervals.
 type CoreSample struct {
-	Interval   int
-	Core       int
-	StartCycle uint64
-	EndCycle   uint64
+	Interval   int    // interval index, 0-based
+	Core       int    // core the sample belongs to
+	StartCycle uint64 // global cycle the interval opened
+	EndCycle   uint64 // global cycle the interval closed
 
-	Refs         uint64
-	Instructions uint64
-	Cycles       uint64
-	L1Misses     uint64
-	L2Misses     uint64
-	LLCMisses    uint64
-	InclVictims  uint64
-	DirVictims   uint64
+	Refs         uint64 // memory references issued in the interval
+	Instructions uint64 // instructions retired in the interval
+	Cycles       uint64 // core-local cycles elapsed in the interval
+	L1Misses     uint64 // L1 misses in the interval
+	L2Misses     uint64 // L2 misses in the interval
+	LLCMisses    uint64 // LLC misses in the interval
+	InclVictims  uint64 // inclusion victims suffered in the interval
+	DirVictims   uint64 // directory-induced victims in the interval
 }
 
 // IPC returns the interval's instructions per (core-local) cycle, 0 for
@@ -62,27 +62,27 @@ func (s *CoreSample) IPC() float64 {
 
 // MachineSample is one interval's machine-wide counter deltas.
 type MachineSample struct {
-	Interval   int
-	StartCycle uint64
-	EndCycle   uint64
+	Interval   int    // interval index, 0-based
+	StartCycle uint64 // global cycle the interval opened
+	EndCycle   uint64 // global cycle the interval closed
 
-	Relocations      uint64
-	CrossBankRelocs  uint64
-	AlternateVictims uint64
-	Evictions        uint64
-	InPrCEvictions   uint64
-	DirEvictions     uint64
-	DirSpills        uint64
-	DRAMReads        uint64
-	DRAMWrites       uint64
-	QueueDepth       uint64
+	Relocations      uint64 // relocations performed in the interval
+	CrossBankRelocs  uint64 // cross-bank relocations in the interval
+	AlternateVictims uint64 // alternate-victim redirections in the interval
+	Evictions        uint64 // LLC evictions in the interval
+	InPrCEvictions   uint64 // private-cache-resident evictions in the interval
+	DirEvictions     uint64 // directory entry evictions in the interval
+	DirSpills        uint64 // directory spills in the interval
+	DRAMReads        uint64 // DRAM reads in the interval
+	DRAMWrites       uint64 // DRAM writes in the interval
+	QueueDepth       uint64 // busy DRAM banks at the interval boundary
 }
 
 // BankSample is one interval's relocations landed in one LLC bank.
 type BankSample struct {
-	Interval    int
-	Bank        int
-	Relocations uint64
+	Interval    int    // interval index, 0-based
+	Bank        int    // LLC bank the relocations landed in
+	Relocations uint64 // relocations received in the interval
 }
 
 // MaxRelocDepth is the last bucket of the relocation-chain-depth
@@ -139,6 +139,7 @@ type Observer struct {
 
 	depthHist [MaxRelocDepth + 1]uint64
 
+	// Stats counts sampler activity since the last Reset.
 	Stats SamplerStats
 }
 
