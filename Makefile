@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif lint-baseline test race fuzz bench bench-quick bench-compare obs-smoke resume-smoke ci
+.PHONY: all build vet lint lint-sarif lint-baseline lint-stats lint-stats-baseline test race fuzz bench bench-quick bench-compare obs-smoke resume-smoke ci
 
 all: ci
 
@@ -24,6 +24,16 @@ lint-sarif:
 # Accept the current findings as the new baseline (commit the result).
 lint-baseline:
 	$(GO) run ./cmd/zivlint -write-baseline ./...
+
+# Emit per-analyzer finding/suppression counts and gate suppressions
+# against the committed budget: a change that adds waivers must also
+# regenerate zivlint.stats.json, so new debt shows up in the diff.
+lint-stats:
+	$(GO) run ./cmd/zivlint -stats lint-stats.json -stats-gate zivlint.stats.json ./...
+
+# Refresh the committed suppression budget (commit the result).
+lint-stats-baseline:
+	$(GO) run ./cmd/zivlint -stats zivlint.stats.json ./...
 
 test:
 	$(GO) test ./...
@@ -77,4 +87,4 @@ resume-smoke:
 	@echo "resume-smoke: resumed sweep is byte-identical to the clean run"
 	rm -rf resume-smoke.tmp
 
-ci: build vet lint test race
+ci: build vet lint lint-stats test race

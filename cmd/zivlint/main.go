@@ -7,6 +7,7 @@
 //	zivlint ./...                        # analyze the module (CI default)
 //	zivlint -format=sarif -o out.sarif ./...
 //	zivlint -write-baseline ./...        # accept current findings
+//	zivlint -stats lint-stats.json -stats-gate zivlint.stats.json ./...
 //	zivlint help                         # list analyzers
 //
 // Findings already recorded in the committed baseline
@@ -14,7 +15,9 @@
 // to disable) are filtered out: only fresh findings fail the build, so
 // new analyzers can land with known debt while still gating every diff.
 // Individual findings are waived in source with
-// //ziv:ignore(analyzer) reason.
+// //ziv:ignore(analyzer) reason. Waivers that no longer suppress
+// anything — or that name an analyzer outside the suite — are
+// themselves reported under the unusedignore pseudo-analyzer.
 //
 // Exit status is 0 when no fresh findings remain, 1 when fresh findings
 // are reported, and 2 on usage or load errors.
@@ -62,6 +65,10 @@ func run(argv []string, stdout, stderr *os.File) int {
 		"baseline file filtering known findings; empty disables")
 	writeBaseline := fs.Bool("write-baseline", false,
 		"record current findings as the new baseline and exit")
+	statsPath := fs.String("stats", "",
+		"write per-analyzer finding/suppression counts to this file")
+	statsGate := fs.String("stats-gate", "",
+		"fail when suppression counts rise above this committed stats file")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: zivlint [flags] [packages]\n\n")
 		fs.PrintDefaults()
@@ -104,6 +111,32 @@ func run(argv []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
+	gateFailed := false
+	if *statsPath != "" || *statsGate != "" {
+		st := buildStats(res)
+		if *statsPath != "" {
+			if err := writeStats(*statsPath, st); err != nil {
+				fmt.Fprintln(stderr, "zivlint:", err)
+				return 2
+			}
+		}
+		if *statsGate != "" {
+			committed, err := loadStats(*statsGate)
+			if err != nil {
+				fmt.Fprintln(stderr, "zivlint:", err)
+				return 2
+			}
+			if rose := gateStats(committed, st); len(rose) > 0 {
+				for _, r := range rose {
+					fmt.Fprintf(stderr, "zivlint: suppression count rose: %s\n", r)
+				}
+				fmt.Fprintf(stderr, "zivlint: new waivers must land with a regenerated %s (run with -stats %s)\n",
+					*statsGate, *statsGate)
+				gateFailed = true
+			}
+		}
+	}
+
 	if *writeBaseline {
 		b := framework.NewBaseline(root, res.Diags)
 		if err := b.Write(*baselinePath); err != nil {
@@ -126,6 +159,10 @@ func run(argv []string, stdout, stderr *os.File) int {
 		var known []framework.Diagnostic
 		known, fresh = b.Filter(root, res.Diags)
 		baselined = len(known)
+		for _, e := range b.Stale(root, res.Diags) {
+			fmt.Fprintf(stderr, "zivlint: stale baseline entry: %s %s %q x%d (finding fixed; prune with -write-baseline)\n",
+				e.Analyzer, e.File, e.Message, e.Count)
+		}
 	}
 
 	out := stdout
@@ -157,6 +194,10 @@ func run(argv []string, stdout, stderr *os.File) int {
 		for _, a := range analyzers {
 			rules = append(rules, sarif.RuleInfo{Name: a.Name, Doc: a.Doc})
 		}
+		rules = append(rules, sarif.RuleInfo{
+			Name: framework.UnusedIgnoreAnalyzer,
+			Doc:  "reports //ziv:ignore directives that suppress nothing or name an analyzer outside the suite",
+		})
 		raw, err := sarif.Marshal(sarif.New(root, rules, fresh))
 		if err != nil {
 			fmt.Fprintln(stderr, "zivlint:", err)
@@ -168,7 +209,7 @@ func run(argv []string, stdout, stderr *os.File) int {
 		}
 	}
 
-	if len(fresh) > 0 {
+	if len(fresh) > 0 || gateFailed {
 		return 1
 	}
 	return 0

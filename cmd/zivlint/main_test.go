@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"zivsim/internal/analysis/framework"
 	"zivsim/internal/analysis/sarif"
 )
 
@@ -88,8 +89,8 @@ func TestSARIFFullRepo(t *testing.T) {
 	if len(envelope.Runs) != 1 {
 		t.Fatalf("SARIF runs = %d, want 1", len(envelope.Runs))
 	}
-	if got := len(envelope.Runs[0].Tool.Driver.Rules); got != len(analyzers) {
-		t.Errorf("rule catalog has %d entries, want %d (one per analyzer)", got, len(analyzers))
+	if got := len(envelope.Runs[0].Tool.Driver.Rules); got != len(analyzers)+1 {
+		t.Errorf("rule catalog has %d entries, want %d (one per analyzer plus unusedignore)", got, len(analyzers)+1)
 	}
 	if n := len(envelope.Runs[0].Results); n != 0 {
 		t.Errorf("full-module run reports %d findings, want a clean tree", n)
@@ -102,6 +103,29 @@ func TestSARIFFullRepo(t *testing.T) {
 		t.Errorf("two full-module runs took %v, want < %v", elapsed, bound)
 	}
 	t.Logf("two full-module SARIF runs in %v (%d bytes each)", elapsed, len(out1))
+}
+
+// TestStaleBaselineWarning feeds the gate a baseline entry for a
+// finding that no longer exists and checks it is called out on stderr
+// without failing the run.
+func TestStaleBaselineWarning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("package analysis in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	b := framework.Baseline{Version: 1, Findings: []framework.BaselineEntry{
+		{Analyzer: "detflow", File: "internal/energy/energy.go", Message: "finding long since fixed", Count: 2},
+	}}
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := capture(t, "-baseline="+path, "zivsim/internal/energy")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "stale baseline entry") || !strings.Contains(stderr, "detflow") {
+		t.Fatalf("stderr = %q, want a stale-entry warning naming detflow", stderr)
+	}
 }
 
 // TestBaselineGate runs the suite exactly as CI does — against the

@@ -8,11 +8,22 @@
 //   - closures that capture locals and escape (returned, stored, or
 //     passed away); immediately-invoked closures, locally-called-only
 //     closures, and literals passed to such local closures are exempt
+//   - allocation sites inside an escaping closure's own body — the
+//     closure may run on the hot path even though its statements are
+//     not inline in the function's CFG, so they are attributed to the
+//     enclosing //ziv:noalloc function (panic paths inside the body
+//     stay exempt)
 //   - conversions of non-pointer-shaped concrete values to interfaces
 //   - calls to functions known to allocate, interprocedurally: local
 //     summaries iterate to a package fixpoint, cross-package summaries
 //     travel as facts, and a small table covers the obvious stdlib
 //     offenders (fmt, strconv formatting, sort.Slice)
+//   - dynamic interface-method calls, resolved by joining the alloc
+//     verdicts of every in-module implementation of the interface; a
+//     //ziv:noalloc annotation on the interface method overrides the
+//     join and instead makes every implementation individually
+//     accountable — an annotated method's implementation that
+//     allocates is reported at its declaration
 //
 // Panic paths are exempt: an allocation inside a guard whose block
 // never reaches the function exit (it ends in panic or os.Exit) is
@@ -26,6 +37,8 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"sort"
+	"strings"
 
 	"zivsim/internal/analysis/cfg"
 	"zivsim/internal/analysis/framework"
@@ -39,7 +52,12 @@ var Analyzer = &framework.Analyzer{
 }
 
 // allocsKey is the per-package fact: function full name → allocates.
-const allocsKey = "allocs"
+// noallocIfaceKey is the per-package fact listing interface methods
+// annotated //ziv:noalloc, keyed "pkgpath.Iface.Method".
+const (
+	allocsKey       = "allocs"
+	noallocIfaceKey = "noallocmethods"
+)
 
 var noallocRe = regexp.MustCompile(`^//\s*ziv:noalloc\b`)
 
@@ -76,10 +94,32 @@ type analyzer struct {
 	// allocs summarizes every function in this package: does its body
 	// contain an allocation site on a non-panic path?
 	allocs map[string]bool
+	// noallocIface holds this package's annotated interface methods,
+	// keyed "pkgpath.Iface.Method".
+	noallocIface map[string]bool
+	// methodDecl records where each local function is declared, for
+	// interface-contract reports.
+	methodDecl map[string]token.Pos
 }
 
 func run(pass *framework.Pass) (any, error) {
-	a := &analyzer{pass: pass, info: pass.TypesInfo, allocs: map[string]bool{}}
+	a := &analyzer{
+		pass:         pass,
+		info:         pass.TypesInfo,
+		allocs:       map[string]bool{},
+		noallocIface: map[string]bool{},
+		methodDecl:   map[string]token.Pos{},
+	}
+	a.collectNoallocIfaces()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, _ := a.info.Defs[fd.Name].(*types.Func); fn != nil {
+					a.methodDecl[fn.FullName()] = fd.Name.Pos()
+				}
+			}
+		}
+	}
 
 	// Summaries feed call-site checks, and local call chains need the
 	// callee's verdict before the caller's; iterate to a fixpoint (the
@@ -123,8 +163,124 @@ func run(pass *framework.Pass) (any, error) {
 		}
 	}
 
+	a.enforceContracts()
+
 	pass.ExportFact(allocsKey, a.allocs)
+	pass.ExportFact(noallocIfaceKey, a.noallocIface)
 	return nil, nil
+}
+
+// collectNoallocIfaces gathers //ziv:noalloc annotations from interface
+// method declarations in this package.
+func (a *analyzer) collectNoallocIfaces() {
+	for _, file := range a.pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				it, ok := ts.Type.(*ast.InterfaceType)
+				if !ok {
+					continue
+				}
+				for _, m := range it.Methods.List {
+					if m.Doc == nil || len(m.Names) == 0 {
+						continue
+					}
+					for _, c := range m.Doc.List {
+						if noallocRe.MatchString(c.Text) {
+							a.noallocIface[a.pass.PkgPath+"."+ts.Name.Name+"."+m.Names[0].Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// enforceContracts reports local implementations of //ziv:noalloc
+// interface methods that allocate: the annotation moves accountability
+// from the dynamic call site to each implementation's declaration.
+func (a *analyzer) enforceContracts() {
+	if a.pass.Pkg == nil {
+		return
+	}
+	type contract struct {
+		it    *types.Interface
+		meth  string
+		label string
+	}
+	var contracts []contract
+	addKeys := func(pkg *types.Package, keys map[string]bool) {
+		names := make([]string, 0, len(keys))
+		for k := range keys {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			rest := strings.TrimPrefix(k, pkg.Path()+".")
+			parts := strings.SplitN(rest, ".", 2)
+			if len(parts) != 2 {
+				continue
+			}
+			tn, ok := pkg.Scope().Lookup(parts[0]).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			it, ok := tn.Type().Underlying().(*types.Interface)
+			if !ok {
+				continue
+			}
+			contracts = append(contracts, contract{it: it, meth: parts[1], label: rest})
+		}
+	}
+	addKeys(a.pass.Pkg, a.noallocIface)
+	imports := append([]*types.Package(nil), a.pass.Pkg.Imports()...)
+	sort.Slice(imports, func(i, j int) bool { return imports[i].Path() < imports[j].Path() })
+	for _, imp := range imports {
+		if f, ok := a.pass.ImportFact(imp.Path(), noallocIfaceKey); ok {
+			if m, ok := f.(map[string]bool); ok {
+				addKeys(imp, m)
+			}
+		}
+	}
+	if len(contracts) == 0 {
+		return
+	}
+	scope := a.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		for _, c := range contracts {
+			if !types.Implements(named, c.it) && !types.Implements(types.NewPointer(named), c.it) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, a.pass.Pkg, c.meth)
+			m, ok := obj.(*types.Func)
+			if !ok || m.Pkg() == nil || m.Pkg().Path() != a.pass.PkgPath {
+				continue
+			}
+			if !a.allocs[m.FullName()] {
+				continue
+			}
+			pos, ok := a.methodDecl[m.FullName()]
+			if !ok {
+				continue
+			}
+			a.pass.Reportf(pos, "%s allocates but implements //ziv:noalloc interface method %s", m.Name(), c.label)
+		}
+	}
 }
 
 func isNoalloc(fd *ast.FuncDecl) bool {
@@ -292,13 +448,31 @@ func (w *walker) walk(n ast.Node) {
 				}
 			}
 		case *ast.FuncLit:
+			litSig, _ := w.a.info.TypeOf(c).(*types.Signature)
+			if litSig == nil {
+				litSig = w.sig
+			}
+			sub := &walker{a: w.a, fd: w.fd, sig: litSig, clean: w.clean, report: w.report, hit: w.hit}
 			if w.clean[c] {
-				return true // immediately invoked or only called locally: descend
+				// Runs inline: its allocations are the function's own.
+				// The sub-walker carries the literal's signature so its
+				// return statements check against the right results.
+				sub.walk(c.Body)
+				return false
 			}
 			if w.captures(c) {
 				w.found(c.Pos(), "escaping closure allocates in //ziv:noalloc function")
 			}
-			return false // its body runs elsewhere; don't double-report
+			if w.report {
+				// The body runs later but possibly on the hot path:
+				// attribute its allocation sites to the enclosing
+				// annotated function. Report-pass only — an ordinary
+				// function that merely builds an allocating closure
+				// does not itself allocate per call of the closure, so
+				// the summary verdict stays body-blind.
+				sub.walkEscaping(c.Body)
+			}
+			return false // statements handled by the sub-walker above
 		case *ast.CallExpr:
 			w.call(c)
 		case *ast.AssignStmt:
@@ -370,6 +544,10 @@ func (w *walker) call(call *ast.CallExpr) {
 	if fn == nil {
 		return
 	}
+	if isInterfaceMethod(fn) {
+		w.ifaceCall(call, fn)
+		return
+	}
 	full := fullName(fn)
 	allocates := stdlibAllocs[full]
 	if !allocates {
@@ -386,6 +564,148 @@ func (w *walker) call(call *ast.CallExpr) {
 	if allocates {
 		w.found(call.Pos(), "call to %s allocates in //ziv:noalloc function", fn.Name())
 	}
+}
+
+// walkEscaping scans an escaping closure's body for allocation sites.
+// The body gets its own CFG so panic paths inside the closure keep the
+// same exemption the enclosing function enjoys.
+func (w *walker) walkEscaping(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	pd := g.PostDominators()
+	for _, b := range g.Blocks {
+		if !pd.Reaches(b) {
+			continue // panic path inside the closure: exempt
+		}
+		for _, n := range b.Nodes {
+			for _, root := range cfg.ScanRoots(n) {
+				w.walk(root)
+			}
+		}
+	}
+}
+
+// ifaceCall resolves a dynamic interface-method call by joining the
+// alloc verdicts of every known implementation. A //ziv:noalloc
+// annotation on the interface method overrides the join: the contract
+// is enforced at each implementation's declaration instead, so the
+// call site is trusted.
+func (w *walker) ifaceCall(call *ast.CallExpr, fn *types.Func) {
+	if w.a.noallocMethod(fn) {
+		return
+	}
+	for _, impl := range w.a.implementations(fn) {
+		if w.a.methodAllocates(impl) {
+			w.found(call.Pos(), "dynamic call to %s may allocate in //ziv:noalloc function (%s allocates)", fn.Name(), impl.FullName())
+			return
+		}
+	}
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface, so
+// calls to it dispatch dynamically.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// implementations enumerates the concrete methods satisfying fn's
+// interface among package-scope named types of this package and of
+// every analyzed import (imports without an allocs fact — the standard
+// library — have no summaries to join and are skipped). Order is
+// deterministic: local scope first, then imports by path.
+func (a *analyzer) implementations(fn *types.Func) []*types.Func {
+	if a.pass.Pkg == nil {
+		return nil
+	}
+	it, ok := fn.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	pkgs := []*types.Package{a.pass.Pkg}
+	imports := append([]*types.Package(nil), a.pass.Pkg.Imports()...)
+	sort.Slice(imports, func(i, j int) bool { return imports[i].Path() < imports[j].Path() })
+	for _, imp := range imports {
+		if _, ok := a.pass.ImportFact(imp.Path(), allocsKey); ok {
+			pkgs = append(pkgs, imp)
+		}
+	}
+
+	var impls []*types.Func
+	for _, pkg := range pkgs {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			if !types.Implements(named, it) && !types.Implements(types.NewPointer(named), it) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, pkg, fn.Name())
+			if m, ok := obj.(*types.Func); ok {
+				impls = append(impls, m)
+			}
+		}
+	}
+	return impls
+}
+
+// methodAllocates looks up a concrete method's verdict: the local
+// summary map for this package, the allocs fact for imports.
+func (a *analyzer) methodAllocates(m *types.Func) bool {
+	if m.Pkg() == nil {
+		return false
+	}
+	if m.Pkg().Path() == a.pass.PkgPath {
+		return a.allocs[m.FullName()]
+	}
+	if f, ok := a.pass.ImportFact(m.Pkg().Path(), allocsKey); ok {
+		if mm, ok := f.(map[string]bool); ok {
+			return mm[m.FullName()]
+		}
+	}
+	return false
+}
+
+// noallocMethod reports whether the interface method fn carries a
+// //ziv:noalloc annotation, locally or in the declaring package's fact.
+func (a *analyzer) noallocMethod(fn *types.Func) bool {
+	key := ifaceKey(fn)
+	if key == "" {
+		return false
+	}
+	if a.noallocIface[key] {
+		return true
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() != a.pass.PkgPath {
+		if f, ok := a.pass.ImportFact(fn.Pkg().Path(), noallocIfaceKey); ok {
+			if m, ok := f.(map[string]bool); ok {
+				return m[key]
+			}
+		}
+	}
+	return false
+}
+
+// ifaceKey renders an interface method as "pkgpath.Iface.Method",
+// matching the noallocmethods fact encoding.
+func ifaceKey(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return ""
+	}
+	named, ok := sig.Recv().Type().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
 }
 
 // ifaceConv flags the boxing of a non-pointer-shaped concrete value

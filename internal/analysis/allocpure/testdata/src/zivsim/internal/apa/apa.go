@@ -163,3 +163,102 @@ func BadCall() []int {
 func Waived() []int {
 	return make([]int, 4) //ziv:ignore(allocpure) cold path, runs once at startup // want:suppressed `make allocates`
 }
+
+// BadEscapingBody returns a non-capturing closure: no environment is
+// allocated, but the body runs on the caller's hot path, so the make
+// inside is attributed to this function.
+//
+//ziv:noalloc
+func BadEscapingBody() func() []int {
+	return func() []int {
+		return make([]int, 8) // want `make allocates in //ziv:noalloc function`
+	}
+}
+
+const escGuardLimit = 1 << 20
+
+// OKEscapingGuard's returned closure allocates only on its panic path:
+// the body scan rides the closure's own CFG, so the panic exemption
+// holds inside escaping closures too.
+//
+//ziv:noalloc
+func OKEscapingGuard() func(int) int {
+	return func(v int) int {
+		if v > escGuardLimit {
+			panic(fmt.Sprintf("overflow %d", v))
+		}
+		return v * 2
+	}
+}
+
+// Ranker is a plain interface: dynamic calls join the verdicts of
+// every known implementation.
+type Ranker interface {
+	Rank(xs []int) int
+}
+
+// CleanRank ranks without allocating.
+type CleanRank struct{}
+
+func (CleanRank) Rank(xs []int) int { return len(xs) }
+
+// DirtyRank scratches a copy first.
+type DirtyRank struct{}
+
+func (DirtyRank) Rank(xs []int) int {
+	b := make([]int, len(xs))
+	copy(b, xs)
+	return len(b)
+}
+
+// BadDynamic dispatches through Ranker: DirtyRank is a possible callee
+// and it allocates, so the dynamic call is charged.
+//
+//ziv:noalloc
+func BadDynamic(r Ranker, xs []int) int {
+	return r.Rank(xs) // want `dynamic call to Rank may allocate in //ziv:noalloc function \(\(zivsim/internal/apa\.DirtyRank\)\.Rank allocates\)`
+}
+
+// Sizer's only implementation is clean, so dispatching through it is
+// clean too — a blanket "dynamic calls may allocate" rule would have
+// flagged this.
+type Sizer interface {
+	Size() int
+}
+
+func (CleanRank) Size() int { return 0 }
+
+// OKDynamic joins a verdict set that is all clean.
+//
+//ziv:noalloc
+func OKDynamic(s Sizer) int {
+	return s.Size()
+}
+
+// Scorer annotates its method //ziv:noalloc: call sites trust the
+// contract and every implementation is held to it at its declaration.
+type Scorer interface {
+	//ziv:noalloc
+	Score(x int) int
+}
+
+// OKAnnotatedDynamic dispatches through the annotated method: clean at
+// the call site even though BadScore allocates.
+//
+//ziv:noalloc
+func OKAnnotatedDynamic(s Scorer, x int) int {
+	return s.Score(x)
+}
+
+// GoodScore honors the contract.
+type GoodScore struct{ base int }
+
+func (g GoodScore) Score(x int) int { return g.base + x }
+
+// BadScore breaks the contract: reported at the declaration, not at
+// the dynamic call sites.
+type BadScore struct{}
+
+func (BadScore) Score(x int) int { // want `Score allocates but implements //ziv:noalloc interface method Scorer\.Score`
+	return len(make([]int, x))
+}

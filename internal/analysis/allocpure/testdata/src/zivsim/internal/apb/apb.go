@@ -17,3 +17,26 @@ func BadCrossCall() []int {
 func OKCrossCall(xs []int) int {
 	return apa.Sum(xs)
 }
+
+// BadCrossDynamic dispatches through an imported interface: apa's
+// DirtyRank arrives through the allocs fact and poisons the join.
+//
+//ziv:noalloc
+func BadCrossDynamic(r apa.Ranker, xs []int) int {
+	return r.Rank(xs) // want `dynamic call to Rank may allocate in //ziv:noalloc function \(\(zivsim/internal/apa\.DirtyRank\)\.Rank allocates\)`
+}
+
+// OKCrossAnnotated trusts the imported //ziv:noalloc method contract.
+//
+//ziv:noalloc
+func OKCrossAnnotated(s apa.Scorer, x int) int {
+	return s.Score(x)
+}
+
+// RemoteScore implements apa's annotated interface from another
+// package; the contract travels as a fact and is enforced here.
+type RemoteScore struct{}
+
+func (RemoteScore) Score(x int) int { // want `Score allocates but implements //ziv:noalloc interface method Scorer\.Score`
+	return cap(make([]int, x))
+}

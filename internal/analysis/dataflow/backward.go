@@ -1,0 +1,73 @@
+package dataflow
+
+import (
+	"zivsim/internal/analysis/cfg"
+)
+
+// Backward runs a backward worklist analysis over g and returns, for
+// every block, the fact holding at the block's entry (ins) and at the
+// block's end (outs), indexed by block index. boundary is the fact at
+// the virtual exit; transfer maps a block and its out fact to its in
+// fact (walking the block's nodes last-to-first) and must be monotone
+// and must not mutate out.
+//
+// The solver is the dual of Forward: a block's out fact is the join of
+// its successors' in facts. Panic-aware by construction: a block whose
+// last node provably never returns has no successors, so its out fact
+// stays at Lattice.Bottom forever. For a may-analysis (union join,
+// empty Bottom — liveness) that means nothing is live after a panic;
+// for a must-analysis (intersection join, universe Bottom — very-busy /
+// must-reach obligations) a panicking path constrains nothing, which is
+// exactly the postdominator semantics the sidecar checks were built on:
+// an obligation does not have to be discharged on a path that is
+// already panicking.
+func Backward[F any](g *cfg.Graph, lat Lattice[F], boundary F, transfer func(b *cfg.Block, out F) F) (ins, outs []F) {
+	n := len(g.Blocks)
+	ins = make([]F, n)
+	outs = make([]F, n)
+	for i := range ins {
+		ins[i] = lat.Bottom()
+		outs[i] = lat.Bottom()
+	}
+	outs[g.Exit.Index] = boundary
+
+	// Seed with every block in reverse index order (blocks are created
+	// roughly in source order, so reverse order approximates reverse
+	// post-order on the reversed graph and converges quickly).
+	inQueue := make([]bool, n)
+	queue := make([]int, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		queue = append(queue, i)
+		inQueue[i] = true
+	}
+	for len(queue) > 0 {
+		idx := queue[0]
+		queue = queue[1:]
+		inQueue[idx] = false
+		b := g.Blocks[idx]
+
+		out := outs[idx]
+		if b != g.Exit && len(b.Succs) > 0 {
+			out = lat.Bottom()
+			for _, s := range b.Succs {
+				out = lat.Join(out, ins[s.Index])
+			}
+		}
+		outs[idx] = out
+		in := transfer(b, out)
+		// Every block was seeded once, so skipping an unchanged input
+		// only prunes redundant requeues — each transfer still runs at
+		// least one time.
+		if lat.Equal(in, ins[idx]) {
+			continue
+		}
+		ins[idx] = in
+		for _, p := range b.Preds {
+			if !inQueue[p.Index] {
+				queue = append(queue, p.Index)
+				inQueue[p.Index] = true
+			}
+		}
+	}
+	return ins, outs
+}

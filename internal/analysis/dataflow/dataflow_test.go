@@ -82,16 +82,16 @@ func taintTransfer(info *types.Info) func(b *cfg.Block, in Taint) Taint {
 				}
 			case *ast.Ident:
 				if rv, ok := info.Uses[rhs].(*types.Var); ok {
-					m = out[rv]
+					m = out[TaintKey{Var: rv}]
 				}
 			}
 			if out == nil && m != 0 {
 				out = Taint{}
 			}
 			if m != 0 {
-				out[v] = m
+				out[TaintKey{Var: v}] = m
 			} else if out != nil {
-				delete(out, v)
+				delete(out, TaintKey{Var: v})
 			}
 		}
 		return out
@@ -149,7 +149,7 @@ func finalTaint(t *testing.T, fn string, varName string) Mask {
 	v := lookupVar(t, info, fd, varName)
 	// The exit block's in-fact joins every return path, but the transfer
 	// runs per-block; check the in of exit.
-	return ins[g.Exit.Index][v]
+	return ins[g.Exit.Index][TaintKey{Var: v}]
 }
 
 func TestForwardStraightLine(t *testing.T) {
@@ -198,10 +198,10 @@ func TestMaskHelpers(t *testing.T) {
 func TestTaintLatticeEqualTreatsZeroAsAbsent(t *testing.T) {
 	v := types.NewVar(token.NoPos, nil, "v", types.Typ[types.Int])
 	lat := TaintLattice{}
-	if !lat.Equal(Taint{v: 0}, nil) {
+	if !lat.Equal(Taint{TaintKey{Var: v}: 0}, nil) {
 		t.Error("zero-mask entry should equal absent entry")
 	}
-	if lat.Equal(Taint{v: Order}, nil) {
+	if lat.Equal(Taint{TaintKey{Var: v}: Order}, nil) {
 		t.Error("nonzero entry should differ from empty")
 	}
 }

@@ -51,9 +51,23 @@ func (m Mask) String() string {
 	}
 }
 
-// Taint maps local variables to their taint masks. It is the fact type
-// of detflow's intraprocedural pass.
-type Taint map[*types.Var]Mask
+// TaintKey addresses one taintable cell: a whole variable (Field == "")
+// or one named field of a struct-typed variable. Field granularity is
+// depth one — `s.Stats.Hits` taints cell {s, "Stats"} — which is as deep
+// as the simulator's value flow ever nests before a whole-struct copy.
+type TaintKey struct {
+	// Var is the variable the cell belongs to.
+	Var *types.Var
+	// Field names the struct field, or "" for the whole value.
+	Field string
+}
+
+// Taint maps taintable cells to their taint masks. It is the fact type
+// of detflow's intraprocedural pass. For a struct variable the whole-
+// value cell {v, ""} and per-field cells {v, F} coexist: reading v.F
+// observes both (a whole-struct overwrite taints every field), writing
+// v.F updates only its own cell, and overwriting v clears all cells.
+type Taint map[TaintKey]Mask
 
 // TaintLattice is the join-semilattice over Taint facts.
 type TaintLattice struct{}
@@ -107,6 +121,36 @@ func (t Taint) Clone() Taint {
 	return out
 }
 
+// Of returns the taint observed by reading v as a whole value: the
+// union of its whole-value cell and every per-field cell, since a copy
+// of the struct carries every field along.
+func (t Taint) Of(v *types.Var) Mask {
+	m := t[TaintKey{Var: v}]
+	for k, km := range t {
+		if k.Var == v && k.Field != "" {
+			m |= km
+		}
+	}
+	return m
+}
+
+// OfField returns the taint observed by reading v.field: the field's
+// own cell plus the whole-value cell (a whole-struct write reaches
+// every field).
+func (t Taint) OfField(v *types.Var, field string) Mask {
+	return t[TaintKey{Var: v}] | t[TaintKey{Var: v, Field: field}]
+}
+
+// ClearVar removes the whole-value cell and every per-field cell of v —
+// the kill of a whole-variable overwrite.
+func (t Taint) ClearVar(v *types.Var) {
+	for k := range t {
+		if k.Var == v {
+			delete(t, k)
+		}
+	}
+}
+
 // FnSummary records how taint moves through one function, computed
 // bottom-up over the call graph and exported as a framework fact keyed
 // by the function's types.Func.FullName(). Param bits in Return mean
@@ -120,6 +164,14 @@ type FnSummary struct {
 	// its own sources (Order/Value bits) and its parameters (param
 	// bits).
 	Return Mask
+	// ReturnFields refines Return for struct-typed results: the taint of
+	// each named field of the (single) result, keyed by field name, as a
+	// function of the callee's sources and parameters. A field absent
+	// from the map carries only Return's whole-value taint. Callers that
+	// bind the result to a variable seed per-field cells from this map,
+	// so one nondeterministic field in a returned struct no longer taints
+	// its clean siblings across the call.
+	ReturnFields map[string]Mask
 	// Sink has param bit i set when argument i flows into a
 	// determinism-sensitive sink inside the callee.
 	Sink Mask

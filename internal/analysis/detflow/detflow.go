@@ -151,7 +151,7 @@ func (a *analyzer) analyzeFunc(fd *ast.FuncDecl) {
 			for _, name := range f.Names {
 				if v, ok := a.info.Defs[name].(*types.Var); ok {
 					a.params[v] = idx
-					entry[v] = dataflow.ParamBit(idx)
+					entry[dataflow.TaintKey{Var: v}] = dataflow.ParamBit(idx)
 					idx++
 				}
 			}
@@ -226,7 +226,20 @@ func (a *analyzer) interpNode(n ast.Node, env dataflow.Taint, report bool) dataf
 		for _, res := range n.Results {
 			m := a.exprTaint(res, env, report)
 			if report {
-				a.cur.Return |= m
+				if whole, fields, ok := a.resultFields(res, env); ok && len(n.Results) == 1 {
+					// Field-resolvable struct result: record the whole-value
+					// cell and each field separately so callers can keep one
+					// nondeterministic field from tainting its siblings.
+					a.cur.Return |= whole
+					if a.cur.ReturnFields == nil {
+						a.cur.ReturnFields = map[string]dataflow.Mask{}
+					}
+					for f, fm := range fields {
+						a.cur.ReturnFields[f] |= fm
+					}
+				} else {
+					a.cur.Return |= m
+				}
 				if strings.Contains(a.curFn.Name(), "Victim") {
 					a.sink(res.Pos(), m, "victim selection", report)
 				}
@@ -268,6 +281,9 @@ func (a *analyzer) assign(as *ast.AssignStmt, env dataflow.Taint, report bool) {
 		m := a.exprTaint(as.Rhs[i], env, report)
 		switch as.Tok {
 		case token.ASSIGN, token.DEFINE:
+			if a.storeFieldwise(lhs, as.Rhs[i], env) {
+				break
+			}
 			a.store(lhs, m, env, report)
 		case token.ADD_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_ASSIGN:
 			if isIntegerExpr(a.info, lhs) {
@@ -283,7 +299,8 @@ func (a *analyzer) assign(as *ast.AssignStmt, env dataflow.Taint, report bool) {
 }
 
 // store writes taint m to an assignment target. Identifier targets
-// update the environment; fields of *Stats and *Sample structs are
+// update the environment; a field write base.F = x updates only the
+// {base, F} cell. Fields of *Stats and *Sample structs are additionally
 // determinism sinks (golden tables read the former, observability
 // artifacts the latter).
 func (a *analyzer) store(lhs ast.Expr, m dataflow.Mask, env dataflow.Taint, report bool) {
@@ -291,6 +308,16 @@ func (a *analyzer) store(lhs ast.Expr, m dataflow.Mask, env dataflow.Taint, repo
 	case *ast.Ident:
 		a.setVar(env, lhs, m)
 	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(lhs.X).(*ast.Ident); ok {
+			if v := a.varOf(id); v != nil {
+				k := dataflow.TaintKey{Var: v, Field: lhs.Sel.Name}
+				if m == 0 {
+					delete(env, k)
+				} else {
+					env[k] = m
+				}
+			}
+		}
 		if !report {
 			return
 		}
@@ -303,11 +330,165 @@ func (a *analyzer) store(lhs ast.Expr, m dataflow.Mask, env dataflow.Taint, repo
 	}
 }
 
+// storeFieldwise handles assignments whose right-hand side has per-field
+// taint — a struct composite literal, a call with a field-granular
+// summary, or a plain struct copy — by assigning cells field by field
+// instead of joining everything into the whole-value cell. Reports were
+// already handled by the caller's exprTaint pass.
+func (a *analyzer) storeFieldwise(lhs, rhs ast.Expr, env dataflow.Taint) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v := a.varOf(id)
+	if v == nil {
+		return false
+	}
+	var whole dataflow.Mask
+	var fields map[string]dataflow.Mask
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.CompositeLit:
+		whole, fields, ok = a.litFields(rhs, env)
+	case *ast.CallExpr:
+		whole, fields, ok = a.callFieldTaints(rhs, env)
+	case *ast.Ident:
+		rv := a.varOf(rhs)
+		if rv == nil {
+			return false
+		}
+		fields = map[string]dataflow.Mask{}
+		for k, km := range env {
+			if k.Var != rv {
+				continue
+			}
+			if k.Field == "" {
+				whole = km
+			} else {
+				fields[k.Field] = km
+			}
+		}
+		ok = true
+	default:
+		return false
+	}
+	if !ok {
+		return false
+	}
+	env.ClearVar(v)
+	if whole != 0 {
+		env[dataflow.TaintKey{Var: v}] = whole
+	}
+	for f, fm := range fields {
+		if fm != 0 {
+			env[dataflow.TaintKey{Var: v, Field: f}] = fm
+		}
+	}
+	return true
+}
+
+// litFields resolves a struct composite literal to per-field taints.
+func (a *analyzer) litFields(lit *ast.CompositeLit, env dataflow.Taint) (dataflow.Mask, map[string]dataflow.Mask, bool) {
+	tv, ok := a.info.Types[lit]
+	if !ok || tv.Type == nil {
+		return 0, nil, false
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return 0, nil, false
+	}
+	fields := map[string]dataflow.Mask{}
+	for i, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				return 0, nil, false
+			}
+			fields[key.Name] |= a.exprTaint(kv.Value, env, false)
+			continue
+		}
+		if i >= st.NumFields() {
+			return 0, nil, false
+		}
+		fields[st.Field(i).Name()] |= a.exprTaint(el, env, false)
+	}
+	return 0, fields, true
+}
+
+// resultFields resolves a returned expression to per-field taints: a
+// struct-typed local (cells read directly) or a struct composite
+// literal. Opaque results fall back to whole-value Return taint, which
+// callers observe on every field anyway.
+func (a *analyzer) resultFields(res ast.Expr, env dataflow.Taint) (dataflow.Mask, map[string]dataflow.Mask, bool) {
+	switch res := ast.Unparen(res).(type) {
+	case *ast.Ident:
+		v := a.varOf(res)
+		if v == nil {
+			return 0, nil, false
+		}
+		st, ok := v.Type().Underlying().(*types.Struct)
+		if !ok {
+			return 0, nil, false
+		}
+		fields := map[string]dataflow.Mask{}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i).Name()
+			fields[f] = env[dataflow.TaintKey{Var: v, Field: f}]
+		}
+		return env[dataflow.TaintKey{Var: v}], fields, true
+	case *ast.CompositeLit:
+		return a.litFields(res, env)
+	}
+	return 0, nil, false
+}
+
+// callFieldTaints substitutes a summarized callee's per-field result
+// taints at a call site; ok is false when the callee has no
+// field-granular summary.
+func (a *analyzer) callFieldTaints(call *ast.CallExpr, env dataflow.Taint) (dataflow.Mask, map[string]dataflow.Mask, bool) {
+	fn := calledFunc(a.info, call)
+	if fn == nil {
+		return 0, nil, false
+	}
+	sum, ok := a.lookupSummary(fn)
+	if !ok || sum.ReturnFields == nil {
+		return 0, nil, false
+	}
+	effArgs := callArgs(a.info, call)
+	argT := make([]dataflow.Mask, len(effArgs))
+	for i, arg := range effArgs {
+		argT[i] = a.exprTaint(arg, env, false)
+	}
+	fields := make(map[string]dataflow.Mask, len(sum.ReturnFields))
+	for f, fm := range sum.ReturnFields {
+		fields[f] = substitute(fm, argT)
+	}
+	return substitute(sum.Return, argT), fields, true
+}
+
+// substitute maps a summary mask to a call site: source bits pass
+// through, param bit i becomes the taint of argument i.
+func substitute(m dataflow.Mask, argT []dataflow.Mask) dataflow.Mask {
+	out := m.Sources()
+	for i, t := range argT {
+		if m&dataflow.ParamBit(i) != 0 {
+			out |= t
+		}
+	}
+	return out
+}
+
 // taintOf reads the current taint of an lvalue (for op= self-flow).
 func (a *analyzer) taintOf(e ast.Expr, env dataflow.Taint) dataflow.Mask {
-	if id, ok := e.(*ast.Ident); ok {
-		if v := a.varOf(id); v != nil {
-			return env[v]
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v := a.varOf(e); v != nil {
+			return env.Of(v)
+		}
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if v := a.varOf(id); v != nil {
+				return env.OfField(v, e.Sel.Name)
+			}
 		}
 	}
 	return 0
@@ -328,11 +509,10 @@ func (a *analyzer) setVar(env dataflow.Taint, id *ast.Ident, m dataflow.Mask) {
 	if v == nil {
 		return
 	}
-	if m == 0 {
-		delete(env, v)
-		return
+	env.ClearVar(v)
+	if m != 0 {
+		env[dataflow.TaintKey{Var: v}] = m
 	}
-	env[v] = m
 }
 
 // exprTaint computes the taint of an expression and applies call side
@@ -341,7 +521,7 @@ func (a *analyzer) exprTaint(e ast.Expr, env dataflow.Taint, report bool) datafl
 	switch e := e.(type) {
 	case *ast.Ident:
 		if v := a.varOf(e); v != nil {
-			return env[v]
+			return env.Of(v)
 		}
 	case *ast.BasicLit, *ast.FuncLit:
 		return 0
@@ -352,8 +532,17 @@ func (a *analyzer) exprTaint(e ast.Expr, env dataflow.Taint, report bool) datafl
 	case *ast.StarExpr:
 		return a.exprTaint(e.X, env, report)
 	case *ast.SelectorExpr:
-		// Field read or method value: taint of the base. Package
-		// selectors have no base var and yield 0.
+		// Field read base.F: the field's own cell plus the whole-value
+		// cell. Method values and deeper chains fall back to the base's
+		// full taint; package selectors have no base var and yield 0.
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if v := a.varOf(id); v != nil {
+				if s, ok := a.info.Selections[e]; ok && s.Kind() == types.FieldVal {
+					return env.OfField(v, e.Sel.Name)
+				}
+				return env.Of(v)
+			}
+		}
 		return a.exprTaint(e.X, env, report)
 	case *ast.IndexExpr:
 		return a.exprTaint(e.X, env, report) | a.exprTaint(e.Index, env, report)
@@ -457,23 +646,27 @@ func (a *analyzer) callTaint(call *ast.CallExpr, env dataflow.Taint, report bool
 	}
 
 	if sum, ok := a.lookupSummary(fn); ok {
-		args := effArgs
-		var ret dataflow.Mask = sum.Return.Sources()
-		for i := 0; i < len(args); i++ {
-			bit := dataflow.ParamBit(i)
-			t := a.exprTaint(args[i], env, false)
-			if sum.Return&bit != 0 {
-				ret |= t
-			}
-			if sum.Sink&bit != 0 {
+		argT := make([]dataflow.Mask, len(effArgs))
+		for i, arg := range effArgs {
+			argT[i] = a.exprTaint(arg, env, false)
+		}
+		// In a generic expression context the result is observed whole,
+		// so the per-field refinement collapses back into one mask;
+		// storeFieldwise intercepts the `v = f(...)` shape before this.
+		combined := sum.Return
+		for _, fm := range sum.ReturnFields {
+			combined |= fm
+		}
+		for i := range effArgs {
+			if sum.Sink&dataflow.ParamBit(i) != 0 {
 				what := sum.SinkWhat
 				if what == "" {
 					what = "a determinism sink in " + fn.Name()
 				}
-				a.sink(args[i].Pos(), t, what, report)
+				a.sink(effArgs[i].Pos(), argT[i], what, report)
 			}
 		}
-		return ret
+		return substitute(combined, argT)
 	}
 	// Unknown callee: arguments flow to the result.
 	return allArgs()
@@ -499,7 +692,9 @@ func (a *analyzer) sink(pos token.Pos, m dataflow.Mask, what string, report bool
 	}
 }
 
-// killOrder clears the Order bit of the variable sorted by a sort call.
+// killOrder clears the Order bit of the value sorted by a sort call: all
+// cells of a plain variable argument, or just the field cell when the
+// argument is a field selector (sorting s.Items launders only Items).
 func (a *analyzer) killOrder(call *ast.CallExpr, argIdx int, env dataflow.Taint) {
 	if argIdx >= len(call.Args) {
 		return
@@ -508,14 +703,39 @@ func (a *analyzer) killOrder(call *ast.CallExpr, argIdx int, env dataflow.Taint)
 	if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
 		arg = u.X
 	}
+	if sel, ok := arg.(*ast.SelectorExpr); ok {
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v := a.varOf(id)
+		if v == nil {
+			return
+		}
+		k := dataflow.TaintKey{Var: v, Field: sel.Sel.Name}
+		if km := env[k] &^ dataflow.Order; km == 0 {
+			delete(env, k)
+		} else {
+			env[k] = km
+		}
+		return
+	}
 	id, ok := arg.(*ast.Ident)
 	if !ok {
 		return
 	}
-	if v := a.varOf(id); v != nil {
-		env[v] &^= dataflow.Order
-		if env[v] == 0 {
-			delete(env, v)
+	v := a.varOf(id)
+	if v == nil {
+		return
+	}
+	for k, km := range env {
+		if k.Var != v {
+			continue
+		}
+		if km &^= dataflow.Order; km == 0 {
+			delete(env, k)
+		} else {
+			env[k] = km
 		}
 	}
 }

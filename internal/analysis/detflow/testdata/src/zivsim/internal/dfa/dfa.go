@@ -53,3 +53,22 @@ func FloatTally(m map[uint64]float64, st *Stats) {
 		st.Sum += v // want `map-order-dependent value flows into a Stats field`
 	}
 }
+
+// Summary is an aggregate with one order-dependent field (First) and
+// one order-free field (Total): the function summary records them
+// separately so consumers of Total stay clean.
+type Summary struct {
+	First uint64
+	Total int
+}
+
+// Snapshot walks the map once: First keeps whichever key came up first
+// (order-tainted), Total is a commutative integer sum (order-clean).
+func Snapshot(m map[uint64]int) Summary {
+	var s Summary
+	for k, v := range m {
+		s.First = k
+		s.Total += v
+	}
+	return s
+}

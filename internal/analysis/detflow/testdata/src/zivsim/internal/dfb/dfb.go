@@ -32,6 +32,20 @@ func TallyThrough(m map[uint64]float64, st *dfa.Stats) {
 	}
 }
 
+// PrintTotal reads only the order-free field of a struct returned
+// across the package boundary: dfa.Snapshot's field-granular summary
+// keeps First's taint from bleeding onto Total, so no diagnostic fires.
+func PrintTotal(m map[uint64]int) {
+	s := dfa.Snapshot(m)
+	fmt.Println(s.Total)
+}
+
+// PrintFirst reads the order-tainted field of the same result.
+func PrintFirst(m map[uint64]int) {
+	s := dfa.Snapshot(m)
+	fmt.Println(s.First) // want `map-order-dependent value flows into formatted output`
+}
+
 // WaivedDump is a debugging helper: the finding is real but waived with
 // an explicit directive.
 func WaivedDump(m map[uint64]int) {

@@ -84,3 +84,67 @@ func GoodCacheKey(m map[string]int) [32]byte {
 	sort.Strings(parts)
 	return sha256.Sum256([]byte(strings.Join(parts, ",")))
 }
+
+// Probe pairs a wall-clock stamp with a stable reference count: the
+// per-field taint cells keep the two apart.
+type Probe struct {
+	Wall int64
+	Refs int
+}
+
+// GoodProbeRefs builds a struct with one nondeterministic field but
+// prints only the clean one: no diagnostic (whole-struct taint would
+// have flagged this).
+func GoodProbeRefs(n int) {
+	p := Probe{Wall: time.Now().UnixNano(), Refs: n}
+	fmt.Println(p.Refs)
+}
+
+// BadProbeWall prints the tainted field of the same struct.
+func BadProbeWall(n int) {
+	p := Probe{Wall: time.Now().UnixNano(), Refs: n}
+	fmt.Println(p.Wall) // want `value-nondeterministic value flows into formatted output`
+}
+
+// BadProbeWhole prints the struct whole: every field rides along, so
+// the Wall taint reaches the output.
+func BadProbeWhole(n int) {
+	p := Probe{Wall: time.Now().UnixNano(), Refs: n}
+	fmt.Println(p) // want `value-nondeterministic value flows into formatted output`
+}
+
+// BadProbeFieldWrite taints a field after construction: the write lands
+// in the field's own cell and the later read observes it (field writes
+// used to fall off the taint environment entirely).
+func BadProbeFieldWrite(n int) {
+	var p Probe
+	p.Refs = n
+	p.Wall = time.Now().UnixNano()
+	fmt.Println(p.Wall) // want `value-nondeterministic value flows into formatted output`
+}
+
+// Ledger accumulates entries into a field.
+type Ledger struct {
+	Items []string
+}
+
+// GoodSortedField drains a map into a struct field and sorts the field
+// before printing: the sort kill reaches the field's own taint cell.
+func GoodSortedField(m map[string]int) {
+	var l Ledger
+	for k := range m {
+		l.Items = append(l.Items, k)
+	}
+	sort.Strings(l.Items)
+	fmt.Println(l.Items)
+}
+
+// BadUnsortedField skips the sort: the field cell keeps its map-order
+// taint all the way to the output.
+func BadUnsortedField(m map[string]int) {
+	var l Ledger
+	for k := range m {
+		l.Items = append(l.Items, k)
+	}
+	fmt.Println(l.Items) // want `map-order-dependent value flows into formatted output`
+}

@@ -132,3 +132,30 @@ func (b *Baseline) Filter(root string, diags []Diagnostic) (baselined, fresh []D
 	}
 	return baselined, fresh
 }
+
+// Stale returns the baseline entries (with their unconsumed counts)
+// that no current finding matched: debt that has been paid off. Stale
+// entries are harmless to gating but dangerous to leave committed — a
+// regression reintroducing the finding would be silently absorbed — so
+// callers surface them for pruning.
+func (b *Baseline) Stale(root string, diags []Diagnostic) []BaselineEntry {
+	remaining := map[baselineKey]int{}
+	for _, e := range b.Findings {
+		remaining[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, RelFile(root, d.Pos.Filename), d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+		}
+	}
+	var stale []BaselineEntry
+	for _, e := range b.Findings {
+		k := baselineKey{e.Analyzer, e.File, e.Message}
+		if n := remaining[k]; n > 0 {
+			stale = append(stale, BaselineEntry{Analyzer: e.Analyzer, File: e.File, Message: e.Message, Count: n})
+			remaining[k] = 0
+		}
+	}
+	return stale
+}

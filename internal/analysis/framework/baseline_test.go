@@ -67,6 +67,74 @@ func TestBaselineRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBaselineDriftGating pins the matching semantics the diff gate
+// depends on: a finding that merely moves (unrelated edits shift its
+// line) stays baselined, while any change to its identity — message
+// text, reporting analyzer, or file — makes it fresh and fails the
+// build.
+func TestBaselineDriftGating(t *testing.T) {
+	b := NewBaseline("", []Diagnostic{
+		diag("detflow", "a/x.go", 10, "tainted flow"),
+		diag("sidecarsync", "a/x.go", 30, "mirror stale"),
+	})
+
+	// Position drift: same analyzer, file, and message at a distant
+	// line (even a different column) is the same accepted finding.
+	moved := diag("detflow", "a/x.go", 310, "tainted flow")
+	moved.Pos.Column = 40
+	if _, fresh := b.Filter("", []Diagnostic{moved}); len(fresh) != 0 {
+		t.Errorf("moved finding tripped the gate: %v", fresh)
+	}
+
+	// Message drift: a reworded diagnostic is a new finding.
+	if _, fresh := b.Filter("", []Diagnostic{diag("detflow", "a/x.go", 10, "tainted flow into stats")}); len(fresh) != 1 {
+		t.Errorf("changed-message finding did not trip the gate")
+	}
+
+	// Analyzer rename: the same message under a renamed analyzer is a
+	// new finding — renames must re-accept their debt explicitly.
+	if _, fresh := b.Filter("", []Diagnostic{diag("detflowv2", "a/x.go", 10, "tainted flow")}); len(fresh) != 1 {
+		t.Errorf("renamed-analyzer finding did not trip the gate")
+	}
+
+	// File move: same for a finding that migrates between files.
+	if _, fresh := b.Filter("", []Diagnostic{diag("detflow", "a/moved.go", 10, "tainted flow")}); len(fresh) != 1 {
+		t.Errorf("moved-file finding did not trip the gate")
+	}
+}
+
+func TestBaselineStale(t *testing.T) {
+	b := NewBaseline("", []Diagnostic{
+		diag("detflow", "a/x.go", 1, "tainted flow"),
+		diag("detflow", "a/x.go", 2, "tainted flow"),
+		diag("allocpure", "b/y.go", 5, "heap alloc"),
+	})
+
+	// One of the two detflow findings was fixed; the allocpure one is
+	// untouched. Stale reports the unconsumed remainder only.
+	now := []Diagnostic{
+		diag("detflow", "a/x.go", 1, "tainted flow"),
+		diag("allocpure", "b/y.go", 5, "heap alloc"),
+	}
+	stale := b.Stale("", now)
+	if len(stale) != 1 {
+		t.Fatalf("stale = %v, want one entry", stale)
+	}
+	if stale[0].Analyzer != "detflow" || stale[0].Count != 1 {
+		t.Errorf("stale[0] = %+v, want detflow remainder count 1", stale[0])
+	}
+
+	// A fully consumed baseline reports nothing stale.
+	all := []Diagnostic{
+		diag("detflow", "a/x.go", 1, "tainted flow"),
+		diag("detflow", "a/x.go", 9, "tainted flow"),
+		diag("allocpure", "b/y.go", 5, "heap alloc"),
+	}
+	if stale := b.Stale("", all); len(stale) != 0 {
+		t.Errorf("fully consumed baseline reported stale entries: %v", stale)
+	}
+}
+
 func TestLoadBaselineMissingFileIsEmpty(t *testing.T) {
 	b, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
 	if err != nil {

@@ -162,6 +162,60 @@ var waived = 1
 	}
 }
 
+func TestUnusedIgnoreDetection(t *testing.T) {
+	pkg := parsePkg(t, `package p
+
+//ziv:ignore(varcheck) used waiver
+var waived = 1
+
+//ziv:ignore(all) used blanket waiver
+var waivedAll = 2
+
+func f() {
+	//ziv:ignore(varcheck) useless: vars inside functions are not flagged
+	_ = 0
+}
+
+//ziv:ignore(nosuchanalyzer) names an analyzer outside the suite
+var flagged = 3
+`)
+	res, err := RunAnalyzer(varReporter, pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := unusedIgnores([]*Package{pkg}, []*Analyzer{varReporter}, res.Suppressed)
+	if len(diags) != 2 {
+		t.Fatalf("got %d unusedignore diagnostics %v, want 2", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 10 || !strings.Contains(diags[0].Message, `"varcheck" suppresses nothing`) {
+		t.Errorf("diag[0] = %v, want suppresses-nothing at line 10", diags[0])
+	}
+	if diags[1].Pos.Line != 14 || !strings.Contains(diags[1].Message, `unknown analyzer "nosuchanalyzer"`) {
+		t.Errorf("diag[1] = %v, want unknown-analyzer at line 14", diags[1])
+	}
+	for _, d := range diags {
+		if d.Analyzer != UnusedIgnoreAnalyzer {
+			t.Errorf("diagnostic attributed to %q, want %q", d.Analyzer, UnusedIgnoreAnalyzer)
+		}
+	}
+}
+
+func TestUnusedIgnoreAllMustSuppressSomething(t *testing.T) {
+	pkg := parsePkg(t, `package p
+
+//zivlint:ignore all stale blanket waiver
+func f() {}
+`)
+	res, err := RunAnalyzer(varReporter, pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := unusedIgnores([]*Package{pkg}, []*Analyzer{varReporter}, res.Suppressed)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `"all" suppresses nothing`) {
+		t.Fatalf("got %v, want one stale-blanket-waiver diagnostic", diags)
+	}
+}
+
 // TestLoadRealPackage drives the go list -export loader against a real
 // module package and checks the type information is live.
 func TestLoadRealPackage(t *testing.T) {

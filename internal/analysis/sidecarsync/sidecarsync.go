@@ -19,12 +19,26 @@
 // The first form requires every whole-element write (bk.blocks[i] = x,
 // *alias = x, or reassigning the field itself) to be followed by a
 // mention of each mirror name. The `on` form additionally constrains
-// writes to the listed element fields (b.Valid = true). A mirror is
-// "mentioned" when its identifier appears in a statement after the
-// write in the same basic block, or anywhere in a block that strictly
-// postdominates it — so a mirror update behind an if/else satisfies
-// nothing, while one after a DebugChecks panic guard does (panicking
-// blocks have no successors and never weaken postdominance).
+// writes to the listed element fields (b.Valid = true).
+//
+// Discharge is a backward must-reach dataflow problem solved with
+// dataflow.Backward: the fact at each program point is the set of
+// mirror mentions that occur on *every* path from that point to the
+// function exit (intersection join, top at unexplored points). A write
+// is satisfied when the mirror is mentioned later in its own block or
+// is in the must-set at the block's end. Panicking blocks have no CFG
+// successors, so their facts stay at top and never weaken the
+// intersection — a mirror update does not have to run when the
+// simulator is already panicking. The must-set strictly refines the old
+// postdominator sweep: a mirror updated on both arms of an if/else now
+// counts, while one behind a single arm still does not.
+//
+// Mentions are base-sensitive: t.validCnt records the receiver chain's
+// root variable, and a write to dst's primary is not discharged by
+// updating src's mirror of the same name. Bases match up to
+// intra-function derivation — a handle carved out of the structure
+// (bk := &l.banks[i]) shares l's base — and a bare identifier mention
+// (no selector base) conservatively matches any base.
 //
 // Accessor functions that hand out interior pointers declare it:
 //
@@ -32,8 +46,10 @@
 //	func (l *LLC) block(loc directory.Location) *Block { ... }
 //
 // and writes through their results are checked like direct writes.
-// Alias declarations are exported as facts, so a package writing
-// through another package's accessor inherits the obligations.
+// Alias declarations, call obligations, and the mirror field specs
+// themselves (keyed by "pkgpath.Type.Field") are exported as facts, so
+// a package writing through another package's accessor — or directly to
+// another package's exported mirrored field — inherits the obligations.
 //
 // The check is interprocedural within and across packages: an
 // unexported function whose receiver- or parameter-based write leaves a
@@ -52,6 +68,7 @@ import (
 	"strings"
 
 	"zivsim/internal/analysis/cfg"
+	"zivsim/internal/analysis/dataflow"
 	"zivsim/internal/analysis/framework"
 )
 
@@ -74,6 +91,7 @@ type Rule struct {
 const (
 	aliasesKey     = "aliases"
 	obligationsKey = "obligations"
+	fieldSpecsKey  = "fieldspecs"
 )
 
 var (
@@ -97,17 +115,71 @@ type analyzer struct {
 	fn       *types.Func
 	params   map[*types.Var]bool
 	aliasVar map[*types.Var]aliasInfo
-	g        *cfg.Graph
-	pd       *cfg.PostDom
-	// blockNames[i] holds every identifier mentioned in block i;
-	// nodeNames mirrors it per node for same-block suffix scans.
-	blockNames []map[string]bool
-	nodeNames  [][]map[string]bool
+	// derived maps a local to the root variable of its initializer
+	// (bk := &l.banks[i] derives bk from l), so base matching can
+	// follow handles carved out of the structure they mirror.
+	derived map[*types.Var]*types.Var
+	g       *cfg.Graph
+	// nodeMentions[b][i] holds the identifier mentions of block b's node
+	// i (for same-block suffix scans); outs[b] is the backward must-reach
+	// solution at block b's end.
+	nodeMentions [][][]mention
+	outs         []mustSet
 }
 
 type aliasInfo struct {
 	rules     []Rule
+	base      *types.Var // root of the aliased expression, for base matching
 	baseParam bool
+}
+
+// mention is one identifier occurrence: the name plus the root variable
+// of the selector chain it hangs off (nil for bare identifiers, which
+// match any base).
+type mention struct {
+	name string
+	base *types.Var
+}
+
+// mustSet is the backward dataflow fact: the mentions occurring on
+// every path from a point to the exit. top is the lattice bottom (the
+// universe) used for unexplored and panicking paths.
+type mustSet struct {
+	top bool
+	m   map[mention]bool
+}
+
+type mustLattice struct{}
+
+func (mustLattice) Bottom() mustSet { return mustSet{top: true} }
+
+// Join intersects two must-sets; top is the identity.
+func (mustLattice) Join(x, y mustSet) mustSet {
+	if x.top {
+		return y
+	}
+	if y.top {
+		return x
+	}
+	m := map[mention]bool{}
+	for k := range x.m {
+		if y.m[k] {
+			m[k] = true
+		}
+	}
+	return mustSet{m: m}
+}
+
+func (mustLattice) Equal(x, y mustSet) bool {
+	if x.top != y.top || len(x.m) != len(y.m) {
+		return false
+	}
+	for k := range x.m {
+		if !y.m[k] {
+			return false
+		}
+	}
+	return true
 }
 
 func run(pass *framework.Pass) (any, error) {
@@ -133,8 +205,15 @@ func run(pass *framework.Pass) (any, error) {
 	}
 	a.sweep(true)
 
+	fieldSpecs := map[string][]Rule{}
+	for v, rules := range a.specs {
+		if tn := ownerTypeName(v); tn != "" {
+			fieldSpecs[pass.PkgPath+"."+tn+"."+v.Name()] = rules
+		}
+	}
 	pass.ExportFact(aliasesKey, a.aliasFuncs)
 	pass.ExportFact(obligationsKey, a.obligations)
+	pass.ExportFact(fieldSpecsKey, fieldSpecs)
 	return nil, nil
 }
 
@@ -268,6 +347,58 @@ func (a *analyzer) fieldByName(fn *types.Func, name string) *types.Var {
 	return found
 }
 
+// ownerTypeName finds the package-level named struct type declaring
+// field v by scanning v's package scope. Both the exporting and the
+// importing pass resolve their own field object against their own view
+// of the package, so the resulting "pkgpath.Type.Field" key is stable
+// across the export-data boundary where object pointers are not.
+func ownerTypeName(v *types.Var) string {
+	if v.Pkg() == nil {
+		return ""
+	}
+	scope := v.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// rulesOf resolves a field's mirror rules: local specs directly,
+// imported fields through the exported fieldspecs fact.
+func (a *analyzer) rulesOf(v *types.Var) []Rule {
+	if rules, ok := a.specs[v]; ok {
+		return rules
+	}
+	if v.Pkg() == nil || v.Pkg().Path() == a.pass.PkgPath {
+		return nil
+	}
+	f, ok := a.pass.ImportFact(v.Pkg().Path(), fieldSpecsKey)
+	if !ok {
+		return nil
+	}
+	m, ok := f.(map[string][]Rule)
+	if !ok {
+		return nil
+	}
+	tn := ownerTypeName(v)
+	if tn == "" {
+		return nil
+	}
+	return m[v.Pkg().Path()+"."+tn+"."+v.Name()]
+}
+
 // sweep analyzes every function; with report set it emits diagnostics,
 // otherwise it only accumulates obligations.
 func (a *analyzer) sweep(report bool) {
@@ -302,10 +433,12 @@ func (a *analyzer) analyzeFunc(fd *ast.FuncDecl, report bool) {
 		}
 	}
 	a.collectAliasVars(fd.Body)
+	a.collectDerived(fd.Body)
 
 	a.g = cfg.New(fd.Body)
-	a.pd = a.g.PostDominators()
 	a.indexMentions()
+	_, a.outs = dataflow.Backward[mustSet](a.g, mustLattice{},
+		mustSet{m: map[mention]bool{}}, a.mentionTransfer)
 
 	for _, b := range a.g.Blocks {
 		for i, n := range b.Nodes {
@@ -341,6 +474,32 @@ func (a *analyzer) collectAliasVars(body *ast.BlockStmt) {
 	})
 }
 
+// collectDerived records which local each variable was carved out of:
+// the root of an assignment's right-hand side chain.
+func (a *analyzer) collectDerived(body *ast.BlockStmt) {
+	a.derived = map[*types.Var]*types.Var{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := a.objOf(id)
+			if v == nil {
+				continue
+			}
+			if root := a.rootVar(as.Rhs[i]); root != nil && root != v {
+				a.derived[v] = root
+			}
+		}
+		return true
+	})
+}
+
 // aliasOf classifies an expression that yields an interior pointer to a
 // mirrored structure.
 func (a *analyzer) aliasOf(e ast.Expr) (aliasInfo, bool) {
@@ -354,20 +513,20 @@ func (a *analyzer) aliasOf(e ast.Expr) (aliasInfo, bool) {
 			return aliasInfo{}, false
 		}
 		if rules, base := a.fieldSpec(ix.X); rules != nil {
-			return aliasInfo{rules: rules, baseParam: base}, true
+			return aliasInfo{rules: rules, base: base, baseParam: a.isParam(base)}, true
 		}
 	case *ast.CallExpr:
-		if rules, base, ok := a.aliasCall(e); ok {
-			return aliasInfo{rules: rules, baseParam: base}, true
+		if info, ok := a.aliasCall(e); ok {
+			return info, true
 		}
 	}
 	return aliasInfo{}, false
 }
 
 // aliasCall matches a call to an //ziv:aliases accessor (local or
-// imported) and reports the aliased rules plus whether the receiver
-// chain roots in a parameter.
-func (a *analyzer) aliasCall(call *ast.CallExpr) (rules []Rule, baseParam, ok bool) {
+// imported) and reports the aliased rules plus the receiver chain's
+// root variable.
+func (a *analyzer) aliasCall(call *ast.CallExpr) (aliasInfo, bool) {
 	var fn *types.Func
 	var recv ast.Expr
 	switch fun := ast.Unparen(call.Fun).(type) {
@@ -378,9 +537,10 @@ func (a *analyzer) aliasCall(call *ast.CallExpr) (rules []Rule, baseParam, ok bo
 		fn, _ = a.info.Uses[fun].(*types.Func)
 	}
 	if fn == nil {
-		return nil, false, false
+		return aliasInfo{}, false
 	}
 	full := fn.FullName()
+	var rules []Rule
 	if r, found := a.aliasFuncs[full]; found {
 		rules = r
 	} else if fn.Pkg() != nil && fn.Pkg().Path() != a.pass.PkgPath {
@@ -391,27 +551,34 @@ func (a *analyzer) aliasCall(call *ast.CallExpr) (rules []Rule, baseParam, ok bo
 		}
 	}
 	if rules == nil {
-		return nil, false, false
+		return aliasInfo{}, false
 	}
-	return rules, recv == nil || a.rootIsParam(recv), true
+	info := aliasInfo{rules: rules}
+	if recv == nil {
+		info.baseParam = true
+	} else {
+		info.base = a.rootVar(recv)
+		info.baseParam = a.rootIsParam(recv)
+	}
+	return info, true
 }
 
 // fieldSpec resolves base.field expressions (bk.blocks) to the field's
-// rules and whether the base roots in a parameter.
-func (a *analyzer) fieldSpec(e ast.Expr) ([]Rule, bool) {
+// rules and the base chain's root variable.
+func (a *analyzer) fieldSpec(e ast.Expr) ([]Rule, *types.Var) {
 	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
 	if !ok {
-		return nil, false
+		return nil, nil
 	}
 	v := a.fieldVarOf(sel)
 	if v == nil {
-		return nil, false
+		return nil, nil
 	}
-	rules, ok := a.specs[v]
-	if !ok {
-		return nil, false
+	rules := a.rulesOf(v)
+	if rules == nil {
+		return nil, nil
 	}
-	return rules, a.rootIsParam(sel.X)
+	return rules, a.rootVar(sel.X)
 }
 
 func (a *analyzer) fieldVarOf(sel *ast.SelectorExpr) *types.Var {
@@ -433,15 +600,19 @@ func (a *analyzer) objOf(id *ast.Ident) *types.Var {
 	return nil
 }
 
-// rootIsParam unwraps selector/index/star/paren chains and reports
-// whether the root identifier is a parameter (or receiver) of the
-// current function.
-func (a *analyzer) rootIsParam(e ast.Expr) bool {
+// rootVar unwraps selector/index/star/paren/address chains and returns
+// the root identifier's variable, or nil.
+func (a *analyzer) rootVar(e ast.Expr) *types.Var {
 	for {
 		switch x := e.(type) {
 		case *ast.ParenExpr:
 			e = x.X
 		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
 			e = x.X
 		case *ast.SelectorExpr:
 			e = x.X
@@ -450,55 +621,130 @@ func (a *analyzer) rootIsParam(e ast.Expr) bool {
 		case *ast.CallExpr:
 			e = x.Fun
 		case *ast.Ident:
-			v := a.objOf(x)
-			return v != nil && a.params[v]
+			return a.objOf(x)
 		default:
-			return false
+			return nil
 		}
 	}
 }
 
-// indexMentions records every identifier name per node and per block.
+// rootIsParam reports whether the root of a chain is a parameter (or
+// receiver) of the current function.
+func (a *analyzer) rootIsParam(e ast.Expr) bool {
+	return a.isParam(a.rootVar(e))
+}
+
+func (a *analyzer) isParam(v *types.Var) bool {
+	return v != nil && a.params[v]
+}
+
+// indexMentions records every identifier mention per node, with the
+// root variable of the selector chain each hangs off.
 func (a *analyzer) indexMentions() {
-	a.blockNames = make([]map[string]bool, len(a.g.Blocks))
-	a.nodeNames = make([][]map[string]bool, len(a.g.Blocks))
+	a.nodeMentions = make([][][]mention, len(a.g.Blocks))
 	for _, b := range a.g.Blocks {
-		bn := map[string]bool{}
-		nn := make([]map[string]bool, len(b.Nodes))
+		nm := make([][]mention, len(b.Nodes))
 		for i, n := range b.Nodes {
-			names := map[string]bool{}
 			// Scan only the header of a RangeStmt node: its body runs in
 			// separate blocks and may run zero times, so a mirror update
 			// there must not be credited to the header block.
 			for _, root := range cfg.ScanRoots(n) {
-				ast.Inspect(root, func(c ast.Node) bool {
-					if id, ok := c.(*ast.Ident); ok {
-						names[id.Name] = true
-						bn[id.Name] = true
-					}
-					return true
-				})
+				nm[i] = append(nm[i], a.mentionsIn(root)...)
 			}
-			nn[i] = names
 		}
-		a.blockNames[b.Index] = bn
-		a.nodeNames[b.Index] = nn
+		a.nodeMentions[b.Index] = nm
 	}
 }
 
-// satisfied reports whether mirror is mentioned at or after (block,
-// idx), or in any block strictly postdominating it.
-func (a *analyzer) satisfied(b *cfg.Block, idx int, mirror string) bool {
-	for i := idx; i < len(b.Nodes); i++ {
-		if a.nodeNames[b.Index][i][mirror] {
-			return true
+// mentionsIn collects the identifier mentions of one subtree. An
+// identifier that is the .Sel of a selector records the selector base's
+// root variable; bare identifiers record a nil base.
+func (a *analyzer) mentionsIn(root ast.Node) []mention {
+	selBase := map[*ast.Ident]*types.Var{}
+	ast.Inspect(root, func(c ast.Node) bool {
+		if sel, ok := c.(*ast.SelectorExpr); ok {
+			selBase[sel.Sel] = a.rootVar(sel.X)
+		}
+		return true
+	})
+	var out []mention
+	ast.Inspect(root, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok {
+			out = append(out, mention{name: id.Name, base: selBase[id]})
+		}
+		return true
+	})
+	return out
+}
+
+// mentionTransfer is the backward transfer function: a block adds its
+// own mentions to the must-set flowing in from its end. Order within
+// the block is irrelevant — the same-block suffix is handled separately
+// by satisfied.
+func (a *analyzer) mentionTransfer(b *cfg.Block, out mustSet) mustSet {
+	if out.top {
+		return out
+	}
+	nm := a.nodeMentions[b.Index]
+	total := 0
+	for _, ms := range nm {
+		total += len(ms)
+	}
+	if total == 0 {
+		return out
+	}
+	m := make(map[mention]bool, len(out.m)+total)
+	for k := range out.m {
+		m[k] = true
+	}
+	for _, ms := range nm {
+		for _, mn := range ms {
+			m[mn] = true
 		}
 	}
-	for _, other := range a.g.Blocks {
-		if other == b || !a.blockNames[other.Index][mirror] {
-			continue
+	return mustSet{m: m}
+}
+
+// canonBase follows the derivation chain to the variable a handle was
+// ultimately carved out of (bounded against pathological cycles).
+func (a *analyzer) canonBase(v *types.Var) *types.Var {
+	for i := 0; v != nil && i < 16; i++ {
+		next, ok := a.derived[v]
+		if !ok {
+			return v
 		}
-		if a.pd.PostDominates(other, b) {
+		v = next
+	}
+	return v
+}
+
+// baseCompat matches a mention's base against a requirement's base up
+// to intra-function derivation (bk := &l.banks[i] makes bk and l the
+// same base); nil on either side is a wildcard.
+func (a *analyzer) baseCompat(got, want *types.Var) bool {
+	if got == nil || want == nil {
+		return true
+	}
+	return a.canonBase(got) == a.canonBase(want)
+}
+
+// satisfied reports whether mirror (with the given requirement base) is
+// mentioned at or after (block, idx), or on every path from the block's
+// end to the exit.
+func (a *analyzer) satisfied(b *cfg.Block, idx int, mirror string, base *types.Var) bool {
+	for i := idx; i < len(b.Nodes); i++ {
+		for _, mn := range a.nodeMentions[b.Index][i] {
+			if mn.name == mirror && a.baseCompat(mn.base, base) {
+				return true
+			}
+		}
+	}
+	out := a.outs[b.Index]
+	if out.top {
+		return true // only panicking paths follow: vacuously discharged
+	}
+	for mn := range out.m {
+		if mn.name == mirror && a.baseCompat(mn.base, base) {
 			return true
 		}
 	}
@@ -535,6 +781,7 @@ type writeTarget struct {
 	rules     []Rule
 	sub       string // element field written; "" for whole-element
 	fieldName string // primary field name, for diagnostics
+	base      *types.Var
 	baseParam bool
 }
 
@@ -545,28 +792,29 @@ func (a *analyzer) classify(lhs ast.Expr) (writeTarget, bool) {
 		// Direct field write: base.field = ... (scalar mirror, or
 		// reassigning the primary slice itself).
 		if v := a.fieldVarOf(lhs); v != nil {
-			if rules, ok := a.specs[v]; ok {
-				return writeTarget{rules: rules, fieldName: v.Name(), baseParam: a.rootIsParam(lhs.X)}, true
+			if rules := a.rulesOf(v); rules != nil {
+				root := a.rootVar(lhs.X)
+				return writeTarget{rules: rules, fieldName: v.Name(), base: root, baseParam: a.isParam(root)}, true
 			}
 		}
 		// Element-field write through an alias or an indexed field:
 		// alias.Sub = ..., base.field[i].Sub = ..., accessor(...).Sub = ...
 		if info, name, ok := a.elementBase(lhs.X); ok {
-			return writeTarget{rules: info.rules, sub: lhs.Sel.Name, fieldName: name, baseParam: info.baseParam}, true
+			return writeTarget{rules: info.rules, sub: lhs.Sel.Name, fieldName: name, base: info.base, baseParam: info.baseParam}, true
 		}
 	case *ast.StarExpr:
 		// Whole-element write through a pointer: *alias = ...
 		if info, name, ok := a.elementBase(lhs.X); ok {
-			return writeTarget{rules: info.rules, fieldName: name, baseParam: info.baseParam}, true
+			return writeTarget{rules: info.rules, fieldName: name, base: info.base, baseParam: info.baseParam}, true
 		}
 	case *ast.IndexExpr:
 		// Whole-element write: base.field[i] = ...
-		if rules, base := a.fieldSpec(lhs.X); rules != nil {
+		if rules, root := a.fieldSpec(lhs.X); rules != nil {
 			name := "?"
 			if sel, ok := ast.Unparen(lhs.X).(*ast.SelectorExpr); ok {
 				name = sel.Sel.Name
 			}
-			return writeTarget{rules: rules, fieldName: name, baseParam: base}, true
+			return writeTarget{rules: rules, fieldName: name, base: root, baseParam: a.isParam(root)}, true
 		}
 	}
 	return writeTarget{}, false
@@ -584,16 +832,16 @@ func (a *analyzer) elementBase(e ast.Expr) (aliasInfo, string, bool) {
 			}
 		}
 	case *ast.IndexExpr:
-		if rules, base := a.fieldSpec(e.X); rules != nil {
+		if rules, root := a.fieldSpec(e.X); rules != nil {
 			name := "?"
 			if sel, ok := ast.Unparen(e.X).(*ast.SelectorExpr); ok {
 				name = sel.Sel.Name
 			}
-			return aliasInfo{rules: rules, baseParam: base}, name, true
+			return aliasInfo{rules: rules, base: root, baseParam: a.isParam(root)}, name, true
 		}
 	case *ast.CallExpr:
-		if rules, base, ok := a.aliasCall(e); ok {
-			return aliasInfo{rules: rules, baseParam: base}, "accessor result", true
+		if info, ok := a.aliasCall(e); ok {
+			return info, "accessor result", true
 		}
 	case *ast.StarExpr:
 		return a.elementBase(e.X)
@@ -628,7 +876,7 @@ func (a *analyzer) checkWrite(b *cfg.Block, idx int, lhs ast.Expr, report bool) 
 	}
 	var missing []string
 	for _, m := range requiredMirrors(w) {
-		if !a.satisfied(b, idx, m) {
+		if !a.satisfied(b, idx, m, w.base) {
 			missing = append(missing, m)
 		}
 	}
@@ -644,7 +892,8 @@ func (a *analyzer) checkWrite(b *cfg.Block, idx int, lhs ast.Expr, report bool) 
 
 // checkCall enforces obligations exported by callees: the call site
 // counts as the primary write and must be followed by the mirrors the
-// callee left stale.
+// callee left stale. The requirement's base is the call's receiver
+// chain root, so dst.step() is not discharged by src's mirror update.
 func (a *analyzer) checkCall(b *cfg.Block, idx int, call *ast.CallExpr, report bool) {
 	fn := calledFunc(a.info, call)
 	if fn == nil {
@@ -664,9 +913,13 @@ func (a *analyzer) checkCall(b *cfg.Block, idx int, call *ast.CallExpr, report b
 	if len(mirrors) == 0 {
 		return
 	}
+	var base *types.Var
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		base = a.rootVar(sel.X)
+	}
 	var missing []string
 	for _, m := range mirrors {
-		if !a.satisfied(b, idx, m) {
+		if !a.satisfied(b, idx, m, base) {
 			missing = append(missing, m)
 		}
 	}

@@ -74,6 +74,45 @@ func (t *Table) EvictBad(i int, addr uint64, scrub bool) {
 	t.tags[i] = addr
 }
 
+// EvictEither updates validCnt on both arms of the branch: neither arm
+// postdominates the write, but every non-panicking path runs one of
+// them, so the must-reach solver accepts what a postdominator sweep
+// would have rejected.
+func (t *Table) EvictEither(i int, addr uint64, scrub bool) {
+	t.blocks[i] = Entry{}
+	if scrub {
+		t.validCnt[i/4]--
+	} else {
+		t.validCnt[i/4]++
+	}
+	t.tags[i] = addr
+}
+
+// Move copies an element between two tables: updating src's sidecars
+// must not discharge dst's duty — mirror matching is base-sensitive.
+func Move(dst, src *Table, i int) {
+	dst.blocks[i] = src.blocks[i] // want `write to blocks leaves sidecar tags, validCnt stale`
+	src.tags[i] = 0
+	src.validCnt[i/4]--
+}
+
+// MoveSync updates the written table's own sidecars: clean.
+func MoveSync(dst, src *Table, i int) {
+	dst.blocks[i] = src.blocks[i]
+	dst.tags[i] = src.tags[i]
+	dst.validCnt[i/4]++
+}
+
+// EvictDerived updates the sidecars through a handle derived from the
+// receiver: base matching follows the derivation, so u's mirror
+// updates discharge t's write.
+func (t *Table) EvictDerived(i int) {
+	u := t
+	t.blocks[i] = Entry{}
+	u.tags[i] = 0
+	u.validCnt[i/4]--
+}
+
 // RebuildBad refreshes the tag sidecar only inside a range body. Loop
 // bodies may run zero times, so the update does not postdominate the
 // write: the stale path is real even though the mirror's name appears
@@ -110,6 +149,15 @@ func (t *Table) CallerBad(i int, addr uint64) {
 // the finding is waived explicitly.
 func (t *Table) Teardown() {
 	t.blocks = nil //ziv:ignore(sidecarsync) mirrors freed alongside // want:suppressed `write to blocks leaves sidecar`
+}
+
+// Hot is an exported mirrored pair: its field spec travels as a fact
+// keyed by full type name, so direct writes from other packages are
+// held to the same duty.
+type Hot struct {
+	//ziv:mirror(HotShadow)
+	HotCount  int
+	HotShadow int
 }
 
 // Clock mirrors a scalar: cycle must never advance without shadow

@@ -17,3 +17,15 @@ func MarkGood(t *scs.Table, i int) {
 func MarkBad(t *scs.Table, i int) {
 	t.At(i).Valid = true // want `leaves sidecar Counters stale`
 }
+
+// BumpGood writes scs's exported primary directly and syncs the mirror:
+// the field spec imported from scs is satisfied in the same block.
+func BumpGood(h *scs.Hot) {
+	h.HotCount++
+	h.HotShadow = h.HotCount
+}
+
+// BumpBad leaves the mirror of a directly-written imported field stale.
+func BumpBad(h *scs.Hot) {
+	h.HotCount++ // want `write to HotCount leaves sidecar HotShadow stale`
+}

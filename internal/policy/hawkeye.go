@@ -64,7 +64,12 @@ type optgenSet struct {
 	occ      []uint16 // ring buffer of occupancy per quantum
 	now      uint64   // current quantum (monotonic per-set access count)
 	hist     map[uint64]optgenEntry
-	order    []uint64 // FIFO of addresses for history capacity management
+	// order is a fixed-size ring FIFO of tracked addresses for history
+	// capacity management; a growable slice would reallocate on the
+	// fill path.
+	order   []uint64
+	ordHead int // index of the oldest tracked address
+	ordLen  int
 }
 
 type optgenEntry struct {
@@ -79,6 +84,7 @@ func newOptgenSet(ways int) *optgenSet {
 		length:   l,
 		occ:      make([]uint16, l),
 		hist:     make(map[uint64]optgenEntry, 2*l),
+		order:    make([]uint64, 2*l+1),
 	}
 }
 
@@ -108,10 +114,12 @@ func (o *optgenSet) access(addr, pc uint64) (trainPC uint64, optHit, trainable b
 	o.occ[o.now%uint64(o.length)] = 0 // reuse slot for the new quantum
 	o.hist[addr] = optgenEntry{last: o.now, pc: pc}
 	if !seen {
-		o.order = append(o.order, addr)
-		if len(o.order) > 2*o.length {
-			drop := o.order[0]
-			o.order = o.order[1:]
+		o.order[(o.ordHead+o.ordLen)%len(o.order)] = addr
+		o.ordLen++
+		if o.ordLen > 2*o.length {
+			drop := o.order[o.ordHead]
+			o.ordHead = (o.ordHead + 1) % len(o.order)
+			o.ordLen--
 			if drop != addr {
 				delete(o.hist, drop)
 			}
@@ -147,19 +155,22 @@ func (p *Hawkeye) Init(sets, ways int) {
 	for i := range p.pred.ctr {
 		p.pred.ctr[i] = hawkeyeCtrInit
 	}
+	// Samplers are built eagerly: the sampled sets are fixed by the
+	// stride mask, and creating one lazily would allocate mid-fill.
 	p.samplers = make(map[int]*optgenSet)
+	for set := 0; set < sets; set++ {
+		if set&p.sampleMask == p.sampleMatch {
+			p.samplers[set] = newOptgenSet(ways)
+		}
+	}
+	p.grow(ways)
 }
 
 func (p *Hawkeye) sampler(set int) *optgenSet {
 	if set&p.sampleMask != p.sampleMatch {
 		return nil
 	}
-	s := p.samplers[set]
-	if s == nil {
-		s = newOptgenSet(p.ways)
-		p.samplers[set] = s
-	}
-	return s
+	return p.samplers[set]
 }
 
 func (p *Hawkeye) train(set int, m Meta) {
@@ -232,17 +243,16 @@ func (p *Hawkeye) clear(i int) {
 // Rank implements Policy: cache-averse lines (RRPV==7) first, then friendly
 // lines by descending RRPV (oldest friendly first), ties by way index.
 func (p *Hawkeye) Rank(set int) []int {
-	out := p.ensure(p.ways)
+	out := p.take(p.ways)
 	base := set * p.ways
 	for w := 0; w < p.ways; w++ {
-		out = append(out, w)
+		out[w] = w
 	}
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && p.rrpv[base+out[j]] > p.rrpv[base+out[j-1]]; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	p.buf = out
 	return out
 }
 

@@ -20,6 +20,7 @@ func (p *LRU) Init(sets, ways int) {
 	p.sets, p.ways = sets, ways
 	p.stamp = make([]uint64, sets*ways)
 	p.clock = 0
+	p.grow(ways)
 }
 
 func (p *LRU) touch(set, way int) {
@@ -41,10 +42,10 @@ func (p *LRU) OnInvalidate(set, way int) { p.stamp[set*p.ways+way] = 0 }
 
 // Rank implements Policy: ways ordered oldest (LRU) to newest (MRU).
 func (p *LRU) Rank(set int) []int {
-	out := p.ensure(p.ways)
+	out := p.take(p.ways)
 	base := set * p.ways
 	for w := 0; w < p.ways; w++ {
-		out = append(out, w)
+		out[w] = w
 	}
 	// Insertion sort by ascending timestamp; associativity is small (8-16).
 	for i := 1; i < len(out); i++ {
@@ -52,7 +53,6 @@ func (p *LRU) Rank(set int) []int {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	p.buf = out
 	return out
 }
 

@@ -1,9 +1,6 @@
 package policy
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // Oracle supplies future knowledge of the global L1 access stream to the
 // offline MIN policy. Positions index the canonical interleaved stream of L1
@@ -30,14 +27,24 @@ func NewStreamOracle(stream []uint64) *StreamOracle {
 	return &StreamOracle{positions: pos}
 }
 
-// NextUse implements Oracle.
+// NextUse implements Oracle. The binary search is hand-rolled: a
+// sort.Search closure would capture ps and after, and the fill path
+// that consults the oracle must stay allocation-free.
 func (o *StreamOracle) NextUse(addr, after uint64) uint64 {
 	ps := o.positions[addr]
-	i := sort.Search(len(ps), func(i int) bool { return ps[i] > after })
-	if i == len(ps) {
+	lo, hi := 0, len(ps)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ps[mid] <= after {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(ps) {
 		return math.MaxUint64
 	}
-	return ps[i]
+	return ps[lo]
 }
 
 // MIN implements Belady's offline optimal replacement: the victim is the
@@ -67,6 +74,7 @@ func (p *MIN) Init(sets, ways int) {
 	p.addr = make([]uint64, sets*ways)
 	p.valid = make([]bool, sets*ways)
 	p.nextUse = make([]uint64, ways)
+	p.grow(ways)
 }
 
 func (p *MIN) observe(set, way int, m Meta) {
@@ -103,16 +111,15 @@ func (p *MIN) Rank(set int) []int {
 		}
 		p.nextUse[w] = p.oracle.NextUse(p.addr[i], p.now)
 	}
-	out := p.ensure(p.ways)
+	out := p.take(p.ways)
 	for w := 0; w < p.ways; w++ {
-		out = append(out, w)
+		out[w] = w
 	}
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && p.nextUse[out[j]] > p.nextUse[out[j-1]]; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	p.buf = out
 	return out
 }
 

@@ -20,6 +20,7 @@ func (p *NRU) Name() string { return "NRU" }
 func (p *NRU) Init(sets, ways int) {
 	p.sets, p.ways = sets, ways
 	p.ref = make([]bool, sets*ways)
+	p.grow(ways)
 }
 
 func (p *NRU) touch(set, way int) {
@@ -50,19 +51,21 @@ func (p *NRU) OnInvalidate(set, way int) { p.ref[set*p.ways+way] = false }
 // Rank implements Policy: unreferenced ways first (ascending way index
 // within each class, making the order deterministic).
 func (p *NRU) Rank(set int) []int {
-	out := p.ensure(p.ways)
+	out := p.take(p.ways)
 	base := set * p.ways
+	n := 0
 	for w := 0; w < p.ways; w++ {
 		if !p.ref[base+w] {
-			out = append(out, w)
+			out[n] = w
+			n++
 		}
 	}
 	for w := 0; w < p.ways; w++ {
 		if p.ref[base+w] {
-			out = append(out, w)
+			out[n] = w
+			n++
 		}
 	}
-	p.buf = out
 	return out
 }
 

@@ -62,14 +62,24 @@ type LRUPositioner interface {
 }
 
 // rankBuf is a reusable ranking buffer embedded by implementations.
+// Init implementations size it once via grow so that take — and thus
+// every Rank call on the fill path — never allocates.
 type rankBuf struct {
 	buf []int
 }
 
-func (r *rankBuf) ensure(ways int) []int {
+// grow sizes the buffer for ways entries; called from Init.
+func (r *rankBuf) grow(ways int) {
 	if cap(r.buf) < ways {
 		r.buf = make([]int, ways)
 	}
-	r.buf = r.buf[:0]
-	return r.buf
+}
+
+// take returns the ways-length reusable buffer. Every slot must be
+// overwritten by the caller before the slice is returned.
+func (r *rankBuf) take(ways int) []int {
+	if cap(r.buf) < ways {
+		panic("policy: Rank called before Init")
+	}
+	return r.buf[:ways]
 }

@@ -20,7 +20,10 @@ func NewRandom(seed uint64) *Random {
 func (p *Random) Name() string { return "Random" }
 
 // Init implements Policy.
-func (p *Random) Init(sets, ways int) { p.sets, p.ways = sets, ways }
+func (p *Random) Init(sets, ways int) {
+	p.sets, p.ways = sets, ways
+	p.grow(ways)
+}
 
 // OnHit implements Policy.
 func (p *Random) OnHit(int, int, Meta) {}
@@ -45,12 +48,11 @@ func (p *Random) next() uint64 {
 
 // Rank implements Policy: a random rotation of the ways.
 func (p *Random) Rank(set int) []int {
-	out := p.ensure(p.ways)
+	out := p.take(p.ways)
 	start := int(p.next() % uint64(p.ways))
 	for i := 0; i < p.ways; i++ {
-		out = append(out, (start+i)%p.ways)
+		out[i] = (start + i) % p.ways
 	}
-	p.buf = out
 	return out
 }
 

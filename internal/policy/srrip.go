@@ -31,6 +31,7 @@ func (p *SRRIP) Init(sets, ways int) {
 	for i := range p.rrpv {
 		p.rrpv[i] = p.max
 	}
+	p.grow(ways)
 }
 
 // OnHit implements Policy: promote to near-immediate re-reference.
@@ -63,16 +64,15 @@ func (p *SRRIP) Rank(set int) []int {
 			p.rrpv[base+w] += delta
 		}
 	}
-	out := p.ensure(p.ways)
+	out := p.take(p.ways)
 	for w := 0; w < p.ways; w++ {
-		out = append(out, w)
+		out[w] = w
 	}
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && p.rrpv[base+out[j]] > p.rrpv[base+out[j-1]]; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	p.buf = out
 	return out
 }
 
