@@ -1,8 +1,9 @@
-// Command zivlint is the project's static-analysis suite: seven
+// Command zivlint is the project's static-analysis suite: twelve
 // zivsim-specific analyzers over a shared CFG/dataflow framework that
 // keep the simulator deterministic, its sidecar structures coherent,
-// its hot paths allocation-free, and its runtime invariant checks
-// sound.
+// its hot paths allocation-free, its runtime invariant checks sound,
+// and its concurrency (locks, goroutine joins, channel ownership,
+// context cancellation) disciplined.
 //
 //	zivlint ./...                        # analyze the module (CI default)
 //	zivlint -format=sarif -o out.sarif ./...
@@ -31,9 +32,13 @@ import (
 
 	"zivsim/internal/analysis/allocpure"
 	"zivsim/internal/analysis/blockmutation"
+	"zivsim/internal/analysis/chandiscipline"
+	"zivsim/internal/analysis/ctxflow"
 	"zivsim/internal/analysis/detflow"
 	"zivsim/internal/analysis/doccomment"
 	"zivsim/internal/analysis/framework"
+	"zivsim/internal/analysis/goleak"
+	"zivsim/internal/analysis/lockguard"
 	"zivsim/internal/analysis/nodeterminism"
 	"zivsim/internal/analysis/sarif"
 	"zivsim/internal/analysis/sidecarsync"
@@ -44,8 +49,12 @@ import (
 var analyzers = []*framework.Analyzer{
 	allocpure.Analyzer,
 	blockmutation.Analyzer,
+	chandiscipline.Analyzer,
+	ctxflow.Analyzer,
 	detflow.Analyzer,
 	doccomment.Analyzer,
+	goleak.Analyzer,
+	lockguard.Analyzer,
 	nodeterminism.Analyzer,
 	sidecarsync.Analyzer,
 	statreset.Analyzer,

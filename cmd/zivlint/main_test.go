@@ -175,6 +175,144 @@ func TestHelpListsAllAnalyzers(t *testing.T) {
 	}
 }
 
+// TestConcurrencyDriftGates proves the concurrency analyzers take part
+// in every drift-control surface: fresh findings fail the run, a
+// baseline absorbs them, an honored waiver counts against the stats
+// gate, and the unusedignore known-set covers the new analyzer names.
+// It runs the CLI against a throwaway module that trips each analyzer
+// exactly once.
+func TestConcurrencyDriftGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module analysis in -short mode")
+	}
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmpconc\n\ngo 1.22\n")
+	write("conc/conc.go", `// Package conc trips each concurrency analyzer exactly once.
+package conc
+
+import (
+	"context"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	//ziv:guards(mu)
+	n int
+}
+
+// Bump reads the guarded field without holding the lock: lockguard.
+func (c *counter) Bump() int {
+	return c.n
+}
+
+// Leak spawns a goroutine whose close is never received: goleak.
+func Leak() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+}
+
+// Reuse sends on a channel it already closed: chandiscipline.
+func Reuse() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1
+}
+
+// Stall receives without honoring ctx cancellation: ctxflow.
+func Stall(ctx context.Context, ch chan int) int {
+	return <-ch
+}
+
+// Pump runs for the process lifetime; its goleak finding is waived, so
+// the waiver counts as a suppression in the stats report.
+func Pump() {
+	go func() { //ziv:ignore(goleak) process-lifetime pump fixture
+		for {
+		}
+	}()
+}
+
+// Tick carries a stale waiver: chandiscipline is a known analyzer but
+// never fires here, so unusedignore reports the directive.
+//
+//ziv:ignore(chandiscipline) stale waiver kept for the unusedignore gate
+var Tick int
+`)
+
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	// Fresh findings from every analyzer fail the run.
+	code, stdout, stderr := capture(t, "-baseline=", "./...")
+	if code != 1 {
+		t.Fatalf("fresh findings: exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	for _, name := range []string{"lockguard", "goleak", "chandiscipline", "ctxflow", "unusedignore"} {
+		if !strings.Contains(stdout, "("+name+")") {
+			t.Errorf("fresh run reports no %s finding:\n%s", name, stdout)
+		}
+	}
+
+	// A baseline absorbs them: record, then rerun clean.
+	bl := filepath.Join(dir, "baseline.json")
+	if code, _, stderr = capture(t, "-write-baseline", "-baseline="+bl, "./..."); code != 0 {
+		t.Fatalf("-write-baseline: exit %d\nstderr:\n%s", code, stderr)
+	}
+	if code, _, stderr = capture(t, "-baseline="+bl, "./..."); code != 0 {
+		t.Fatalf("baselined run: exit %d, want 0\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "baselined finding(s) suppressed") {
+		t.Errorf("baselined run stderr = %q, want a suppression note", stderr)
+	}
+
+	// The honored goleak waiver counts against the stats gate: a
+	// committed budget of zero suppressions must flag the rise even
+	// though the baseline keeps the findings themselves quiet.
+	gate := filepath.Join(dir, "gate.json")
+	if err := writeStats(gate, lintStats{Version: statsVersion, Analyzers: map[string]analyzerStats{}}); err != nil {
+		t.Fatal(err)
+	}
+	stats := filepath.Join(dir, "stats.json")
+	code, _, stderr = capture(t, "-baseline="+bl, "-stats", stats, "-stats-gate", gate, "./...")
+	if code != 1 {
+		t.Fatalf("stats-gated run: exit %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "suppression count rose: goleak: 0 -> 1") {
+		t.Errorf("gate stderr = %q, want the goleak suppression rise", stderr)
+	}
+
+	// The emitted stats report rows the new analyzers.
+	cur, err := loadStats(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"lockguard", "goleak", "chandiscipline", "ctxflow"} {
+		if got := cur.Analyzers[name].Findings; got != 1 {
+			t.Errorf("stats findings[%s] = %d, want 1", name, got)
+		}
+	}
+	if got := cur.Analyzers["goleak"].Suppressions; got != 1 {
+		t.Errorf("stats suppressions[goleak] = %d, want 1", got)
+	}
+}
+
 // TestUsageErrors checks the exit-2 contract for bad invocations.
 func TestUsageErrors(t *testing.T) {
 	if code, _, _ := capture(t, "-format=yaml", "zivsim/cmd/zivlint"); code != 2 {

@@ -202,7 +202,7 @@ func run() int {
 	opt.Drain = drain
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
+	go func() { //ziv:ignore(goleak) process-lifetime signal watcher: lives until exit by design
 		<-sig
 		fmt.Fprintln(os.Stderr, "zivsim: interrupt — draining (in-flight jobs finish; interrupt again to exit now)")
 		drain.Request()

@@ -23,7 +23,14 @@
 //     //ziv:noalloc annotation on the interface method overrides the
 //     join and instead makes every implementation individually
 //     accountable — an annotated method's implementation that
-//     allocates is reported at its declaration
+//     allocates is reported at its declaration. A join over zero
+//     in-module implementations is vacuous, not clean, and is reported
+//     at the call site: annotate the method or dispatch concretely.
+//     The vacuous-join report is limited to interfaces whose defining
+//     package's summaries are in view (the analyzed package or an
+//     import analyzed in the same run) — interfaces from the standard
+//     library or from outside a partial-scope run are trusted, since
+//     an empty join there means "not visible", not "does not exist"
 //
 // Panic paths are exempt: an allocation inside a guard whose block
 // never reaches the function exit (it ends in panic or os.Exit) is
@@ -593,7 +600,25 @@ func (w *walker) ifaceCall(call *ast.CallExpr, fn *types.Func) {
 	if w.a.noallocMethod(fn) {
 		return
 	}
-	for _, impl := range w.a.implementations(fn) {
+	impls := w.a.implementations(fn)
+	if len(impls) == 0 {
+		if !w.a.summarized(fn.Pkg()) {
+			// The interface comes from a package with no alloc summaries
+			// in view — the standard library, or a dependency outside a
+			// partial-scope run. implementations() could not have seen
+			// its satisfying types, so an empty join means "not visible",
+			// not "does not exist"; trust the call as before.
+			return
+		}
+		// Nothing to join: a verdict built from zero implementations is
+		// vacuous, not clean. Surface it rather than silently trusting
+		// the call — the fix is a //ziv:noalloc annotation on the
+		// interface method (each future implementation then answers for
+		// itself) or concrete dispatch.
+		w.found(call.Pos(), "dynamic call to %s joins zero in-module implementations in //ziv:noalloc function: annotate the interface method //ziv:noalloc or dispatch concretely", fn.Name())
+		return
+	}
+	for _, impl := range impls {
 		if w.a.methodAllocates(impl) {
 			w.found(call.Pos(), "dynamic call to %s may allocate in //ziv:noalloc function (%s allocates)", fn.Name(), impl.FullName())
 			return
@@ -609,6 +634,21 @@ func isInterfaceMethod(fn *types.Func) bool {
 		return false
 	}
 	return types.IsInterface(sig.Recv().Type())
+}
+
+// summarized reports whether pkg's alloc verdicts are visible to this
+// pass: it is the package under analysis, or an import analyzed in the
+// same run (every analyzed package exports an allocs fact, even an
+// empty one).
+func (a *analyzer) summarized(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	if pkg.Path() == a.pass.PkgPath {
+		return true
+	}
+	_, ok := a.pass.ImportFact(pkg.Path(), allocsKey)
+	return ok
 }
 
 // implementations enumerates the concrete methods satisfying fn's

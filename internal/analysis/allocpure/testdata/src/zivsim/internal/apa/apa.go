@@ -3,7 +3,10 @@
 // panic-path exemption.
 package apa
 
-import "fmt"
+import (
+	"fmt"
+	"io"
+)
 
 // Sum is allocation-free: index loop, scalar accumulation.
 //
@@ -261,4 +264,44 @@ type BadScore struct{}
 
 func (BadScore) Score(x int) int { // want `Score allocates but implements //ziv:noalloc interface method Scorer\.Score`
 	return len(make([]int, x))
+}
+
+// Opaque has no in-module implementation: a verdict joined over zero
+// implementations is vacuous, so the dynamic call is surfaced instead
+// of silently trusted.
+type Opaque interface {
+	Touch(x int) int
+}
+
+// BadVacuousDynamic dispatches through Opaque with nothing to join.
+//
+//ziv:noalloc
+func BadVacuousDynamic(o Opaque, x int) int {
+	return o.Touch(x) // want `dynamic call to Touch joins zero in-module implementations in //ziv:noalloc function`
+}
+
+// Sealed also has no implementation yet, but its method carries the
+// contract: each future implementation answers for itself at its own
+// declaration, so trusting the call site is sound.
+type Sealed interface {
+	//ziv:noalloc
+	Probe(x int) int
+}
+
+// OKVacuousAnnotated dispatches through the annotated method: clean.
+//
+//ziv:noalloc
+func OKVacuousAnnotated(s Sealed, x int) int {
+	return s.Probe(x)
+}
+
+// OKStdlibIface dispatches through an interface defined in a package
+// with no alloc summaries in view (the standard library): the empty
+// join means the implementations are invisible, not absent, so the
+// call is trusted rather than reported as vacuous.
+//
+//ziv:noalloc
+func OKStdlibIface(r io.Reader, buf []byte) int {
+	n, _ := r.Read(buf)
+	return n
 }

@@ -74,17 +74,55 @@ type expectation struct {
 // (dependencies first), applies the analyzer to each under one shared
 // fact store, and reports mismatches between actual diagnostics and the
 // fixtures' want / want:suppressed comments.
+//
+// All fixtures share one token.FileSet and one export-data importer, so
+// a standard-library or module type (sync.WaitGroup, core.Block)
+// resolves to the same *types.Package instance in every fixture of the
+// chain — a value built in one fixture type-checks as an argument to a
+// function exported by another.
 func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgPaths ...string) {
 	t.Helper()
-	facts := framework.NewFacts()
-	loaded := map[string]*framework.Package{}
+	fset := token.NewFileSet()
+
+	// Parse everything first so the shared fallback importer can cover
+	// the union of external imports in a single `go list -export` run.
+	parsed := map[string][]*ast.File{}
+	isFixture := map[string]bool{}
+	external := map[string]bool{}
 	for _, pkgPath := range pkgPaths {
-		pkg, err := loadFixture(testdata, pkgPath, loaded)
+		isFixture[pkgPath] = true
+	}
+	for _, pkgPath := range pkgPaths {
+		files, imports, err := parseFixture(fset, testdata, pkgPath)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", pkgPath, err)
+		}
+		parsed[pkgPath] = files
+		for p := range imports {
+			if !isFixture[p] && p != "unsafe" {
+				external[p] = true
+			}
+		}
+	}
+	var paths []string
+	for p := range external {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	fallback, err := framework.ExportImporterFor(fset, paths)
+	if err != nil {
+		t.Fatalf("building fixture importer: %v", err)
+	}
+
+	facts := framework.NewFacts()
+	imp := chainImporter{fixtures: map[string]*types.Package{}, fallback: fallback}
+	for _, pkgPath := range pkgPaths {
+		pkg, err := checkFixture(fset, pkgPath, parsed[pkgPath], imp)
 		if err != nil {
 			t.Errorf("loading fixture %s: %v", pkgPath, err)
 			continue
 		}
-		loaded[pkgPath] = pkg
+		imp.fixtures[pkgPath] = pkg.Types
 		res, err := framework.RunAnalyzer(a, pkg, facts)
 		if err != nil {
 			t.Errorf("running %s on %s: %v", a.Name, pkgPath, err)
@@ -94,26 +132,24 @@ func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgPaths ...strin
 	}
 }
 
-// loadFixture parses and type-checks one GOPATH-style fixture package.
-// Imports of previously loaded fixtures resolve to their live
-// *types.Package; everything else comes from `go list -export` data.
-func loadFixture(testdata, pkgPath string, loaded map[string]*framework.Package) (*framework.Package, error) {
+// parseFixture parses one GOPATH-style fixture package and reports its
+// import set.
+func parseFixture(fset *token.FileSet, testdata, pkgPath string) ([]*ast.File, map[string]bool, error) {
 	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
 	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("no fixture files in %s", dir)
+		return nil, nil, fmt.Errorf("no fixture files in %s", dir)
 	}
 	sort.Strings(names)
-	fset := token.NewFileSet()
 	var files []*ast.File
 	imports := map[string]bool{}
 	for _, name := range names {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		files = append(files, f)
 		for _, imp := range f.Imports {
@@ -122,10 +158,12 @@ func loadFixture(testdata, pkgPath string, loaded map[string]*framework.Package)
 			}
 		}
 	}
-	imp, err := fixtureImporter(fset, imports, loaded)
-	if err != nil {
-		return nil, err
-	}
+	return files, imports, nil
+}
+
+// checkFixture type-checks one parsed fixture package against the
+// shared importer chain.
+func checkFixture(fset *token.FileSet, pkgPath string, files []*ast.File, imp types.Importer) (*framework.Package, error) {
 	info := framework.NewInfo()
 	conf := types.Config{Importer: imp}
 	tpkg, err := conf.Check(pkgPath, fset, files, info)
@@ -142,7 +180,10 @@ func loadFixture(testdata, pkgPath string, loaded map[string]*framework.Package)
 }
 
 // chainImporter consults earlier fixture packages before falling back to
-// export data, letting one fixture import another.
+// the shared export-data importer, letting one fixture import another.
+// The fallback's go command runs with the test's working directory,
+// which lies inside the zivsim module, so zivsim/... import paths
+// resolve without any network access.
 type chainImporter struct {
 	fixtures map[string]*types.Package
 	fallback types.Importer
@@ -153,31 +194,6 @@ func (c chainImporter) Import(path string) (*types.Package, error) {
 		return p, nil
 	}
 	return c.fallback.Import(path)
-}
-
-// fixtureImporter resolves the fixture's imports: prior fixtures from
-// their in-memory type information, and stdlib or module packages from
-// `go list -export` data. The go command runs with the test's working
-// directory, which lies inside the zivsim module, so zivsim/... import
-// paths resolve without any network access.
-func fixtureImporter(fset *token.FileSet, imports map[string]bool, loaded map[string]*framework.Package) (types.Importer, error) {
-	fixtures := map[string]*types.Package{}
-	var paths []string
-	for p := range imports {
-		if prior, ok := loaded[p]; ok {
-			fixtures[p] = prior.Types
-			continue
-		}
-		if p != "unsafe" {
-			paths = append(paths, p)
-		}
-	}
-	sort.Strings(paths)
-	fallback, err := framework.ExportImporterFor(fset, paths)
-	if err != nil {
-		return nil, err
-	}
-	return chainImporter{fixtures: fixtures, fallback: fallback}, nil
 }
 
 // collectExpectations scans the fixture's comments for one flavor of want

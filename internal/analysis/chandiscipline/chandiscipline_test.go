@@ -1,0 +1,13 @@
+package chandiscipline_test
+
+import (
+	"testing"
+
+	"zivsim/internal/analysis/analysistest"
+	"zivsim/internal/analysis/chandiscipline"
+)
+
+func TestChandiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", chandiscipline.Analyzer,
+		"zivsim/internal/cd", "zivsim/internal/cdh", "zivsim/internal/cdx")
+}

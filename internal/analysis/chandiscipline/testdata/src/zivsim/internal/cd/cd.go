@@ -1,0 +1,164 @@
+// Package cd exercises chandiscipline: the forward may-closed flow
+// (send-after-close, double close, branch joins, deferred closes),
+// ownership classification of closes (owner-made, field, package
+// level, exported parameter, foreign channel), closer delegation
+// through unexported helpers, and the stranded-buffered-sender check.
+package cd
+
+func work(int) {}
+
+// SendAfterClose sends on a channel already closed on every path.
+func SendAfterClose() {
+	ch := make(chan int)
+	close(ch)
+	ch <- 1 // want `send on channel ch that may already be closed`
+}
+
+// SendBeforeClose is the owner's normal lifecycle: clean.
+func SendBeforeClose() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// DoubleClose closes twice.
+func DoubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want `close of channel ch that may already be closed`
+}
+
+// BranchedClose closes and sends on disjoint paths: clean.
+func BranchedClose(b bool) {
+	ch := make(chan int, 1)
+	if b {
+		close(ch)
+	} else {
+		ch <- 1
+	}
+}
+
+// MayClose sends after a join where one path closed.
+func MayClose(b bool) {
+	ch := make(chan int, 1)
+	if b {
+		close(ch)
+	}
+	ch <- 1 // want `send on channel ch that may already be closed`
+}
+
+// DeferClose defers the close: it runs at return, after the send, so
+// the flow stays clean.
+func DeferClose() {
+	ch := make(chan int, 1)
+	defer close(ch)
+	ch <- 1
+}
+
+// shutdown is an unexported closer: ownership is delegated by the
+// caller, so no report here — the close travels to call sites as a
+// closer fact.
+func shutdown(ch chan int) {
+	close(ch)
+}
+
+// Delegate stops sending before handing the channel to the closer:
+// clean.
+func Delegate() {
+	ch := make(chan int, 1)
+	ch <- 1
+	shutdown(ch)
+}
+
+// DelegateBad sends after the helper closed the channel on its
+// behalf.
+func DelegateBad() {
+	ch := make(chan int, 1)
+	shutdown(ch)
+	ch <- 1 // want `send on channel ch that may already be closed`
+}
+
+// CloseParam closes a caller's channel from an exported API.
+func CloseParam(ch chan int) {
+	close(ch) // want `close of channel parameter ch in exported function CloseParam: the caller owns the channel`
+}
+
+// CloseForeign closes a channel it obtained from elsewhere.
+func CloseForeign(get func() chan int) {
+	ch := get()
+	close(ch) // want `close of channel ch that this function did not create`
+}
+
+// Srv owns its field channel.
+type Srv struct {
+	done chan struct{}
+}
+
+// Close is the struct's owner closing its own field: clean.
+func (s *Srv) Close() {
+	close(s.done)
+}
+
+// events is package-owned.
+var events = make(chan int)
+
+// Quiesce closes the package-level channel the package owns: clean.
+func Quiesce() {
+	close(events)
+}
+
+// Fan loops sending on a buffered channel whose only receive sits in
+// a select beside an exit case: once the receiver takes the exit, the
+// buffer fills and the sender blocks forever.
+func Fan(done chan struct{}) {
+	ch := make(chan int, 4)
+	go func() {
+		for i := 0; i < 100; i++ {
+			ch <- i // want `goroutine loops sending on buffered channel ch but every receive can exit early`
+		}
+	}()
+	for {
+		select {
+		case v := <-ch:
+			work(v)
+		case <-done:
+			return
+		}
+	}
+}
+
+// FanDrained ranges the channel to exhaustion: clean.
+func FanDrained() {
+	ch := make(chan int, 4)
+	go func() {
+		for i := 0; i < 100; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	for v := range ch {
+		work(v)
+	}
+}
+
+// FanGuarded gives the sender its own select exit: clean.
+func FanGuarded(done chan struct{}) {
+	ch := make(chan int, 4)
+	go func() {
+		for i := 0; i < 100; i++ {
+			select {
+			case ch <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case v := <-ch:
+			work(v)
+		case <-done:
+			return
+		}
+	}
+}

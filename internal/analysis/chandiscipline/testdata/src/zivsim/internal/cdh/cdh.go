@@ -1,0 +1,10 @@
+// Package cdh is the provider side of chandiscipline's cross-package
+// fixtures: the closer fact for Shutdown travels to importers.
+package cdh
+
+// Shutdown closes its parameter from an exported API: the ownership
+// crossing is reported here, and the closer fact still records
+// parameter 0 so importers' may-closed flow sees the close.
+func Shutdown(ch chan int) {
+	close(ch) // want `close of channel parameter ch in exported function Shutdown: the caller owns the channel`
+}

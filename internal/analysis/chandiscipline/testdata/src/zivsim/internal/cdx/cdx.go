@@ -1,0 +1,20 @@
+// Package cdx is the consumer side of chandiscipline's cross-package
+// fixtures: the imported closer fact makes cdh.Shutdown count as a
+// close in the local may-closed flow.
+package cdx
+
+import "zivsim/internal/cdh"
+
+// Handoff stops sending before the delegated close: clean.
+func Handoff() {
+	ch := make(chan int, 1)
+	ch <- 1
+	cdh.Shutdown(ch)
+}
+
+// HandoffBad sends after the imported closer ran.
+func HandoffBad() {
+	ch := make(chan int, 1)
+	cdh.Shutdown(ch)
+	ch <- 1 // want `send on channel ch that may already be closed`
+}

@@ -1,0 +1,135 @@
+// Package cf exercises ctxflow: guarded and unguarded channel ops in
+// ctx-taking functions, the ctx.Done self-wait exemption, WaitGroup
+// and time.Sleep primitives, blocker summaries (direct, transitive,
+// annotated), ctx-taking callees, and //ziv:blocking parse errors.
+package cf
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func work(int) {}
+
+// RecvGuarded selects on ctx.Done beside the receive: clean.
+func RecvGuarded(ctx context.Context, in chan int) {
+	select {
+	case v := <-in:
+		work(v)
+	case <-ctx.Done():
+	}
+}
+
+// RecvBad receives with no guard.
+func RecvBad(ctx context.Context, in chan int) {
+	v := <-in // want `blocking receive from in ignores ctx cancellation`
+	work(v)
+}
+
+// SendBad sends with no guard.
+func SendBad(ctx context.Context, out chan int) {
+	out <- 1 // want `blocking send on out ignores ctx cancellation`
+}
+
+// SendDefault never blocks thanks to the default arm: clean.
+func SendDefault(ctx context.Context, out chan int) {
+	select {
+	case out <- 1:
+	default:
+	}
+}
+
+// SelectNoGuard's arms all block; without a ctx.Done case or default
+// the select itself can hang forever.
+func SelectNoGuard(ctx context.Context, a, b chan int) {
+	select {
+	case v := <-a: // want `blocking receive from a ignores ctx cancellation`
+		work(v)
+	case b <- 1: // want `blocking send on b ignores ctx cancellation`
+	}
+}
+
+// AwaitCancel waits for the cancellation itself: clean.
+func AwaitCancel(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// RangeBad drains a channel with no guard.
+func RangeBad(ctx context.Context, in chan int) {
+	for v := range in { // want `blocking range over in ignores ctx cancellation`
+		work(v)
+	}
+}
+
+// SleepBad sleeps through cancellation.
+func SleepBad(ctx context.Context) {
+	time.Sleep(time.Second) // want `time.Sleep ignores ctx cancellation`
+}
+
+// WaitBad joins a WaitGroup with no guard.
+func WaitBad(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() // want `WaitGroup.Wait ignores ctx cancellation`
+}
+
+// drain blocks on its channel; it takes no ctx, so it becomes a
+// blocker summary instead of a report.
+func drain(in chan int) {
+	for v := range in {
+		work(v)
+	}
+}
+
+// relay reaches the blocker through one hop and becomes one itself.
+func relay(in chan int) {
+	drain(in)
+}
+
+// CallBlockerBad calls a direct blocker without a guard.
+func CallBlockerBad(ctx context.Context, in chan int) {
+	drain(in) // want `call to blocking function drain ignores ctx cancellation`
+}
+
+// CallRelayBad hits the transitive blocker summary.
+func CallRelayBad(ctx context.Context, in chan int) {
+	relay(in) // want `call to blocking function relay ignores ctx cancellation`
+}
+
+// Annotated blocks by documented contract: its body is excused.
+//
+//ziv:blocking drains the channel to exhaustion on shutdown
+func Annotated(ctx context.Context, in chan int) {
+	for v := range in {
+		work(v)
+	}
+}
+
+// pump takes ctx itself: calls to it are never flagged — the callee
+// owns its cancellation story and is checked at its own definition.
+func pump(ctx context.Context, in chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-in:
+			work(v)
+		}
+	}
+}
+
+// CallCtxTaker delegates cancellation to the ctx-taking callee: clean.
+func CallCtxTaker(ctx context.Context, in chan int) {
+	pump(ctx, in)
+}
+
+// badspec carries a malformed directive, so its body is still checked.
+//
+//ziv:blocking(reason) // want `malformed //ziv:blocking directive`
+func badspec(ctx context.Context, in chan int) {
+	<-in // want `blocking receive from in ignores ctx cancellation`
+}
+
+func init() {
+	// Keep the unexported fixture referenced.
+	_ = badspec
+}

@@ -1,0 +1,20 @@
+// Package cfh is the provider side of ctxflow's cross-package
+// fixtures: its blocker summaries (one inferred, one annotated)
+// travel to importers as facts.
+package cfh
+
+// Forward blocks receiving and re-sending; it takes no ctx, so it is
+// summarized as a blocker rather than reported.
+func Forward(in, out chan int) {
+	for v := range in {
+		out <- v
+	}
+}
+
+// Drain blocks by documented contract.
+//
+//ziv:blocking drains the channel to exhaustion
+func Drain(in chan int) {
+	for range in {
+	}
+}

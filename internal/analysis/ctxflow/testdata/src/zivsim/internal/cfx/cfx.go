@@ -1,0 +1,28 @@
+// Package cfx is the consumer side of ctxflow's cross-package
+// fixtures: imported blocker facts flag unguarded calls, and the
+// caller-side //ziv:blocking annotation waives them.
+package cfx
+
+import (
+	"context"
+
+	"zivsim/internal/cfh"
+)
+
+// Use calls the inferred imported blocker without a guard.
+func Use(ctx context.Context, in, out chan int) {
+	cfh.Forward(in, out) // want `call to blocking function Forward ignores ctx cancellation`
+}
+
+// UseAnnotated calls the contractually blocking import: the
+// annotation marks Drain as a blocker, it does not bless callers.
+func UseAnnotated(ctx context.Context, in chan int) {
+	cfh.Drain(in) // want `call to blocking function Drain ignores ctx cancellation`
+}
+
+// UseWaived takes the blocking contract onto itself.
+//
+//ziv:blocking hands the channel to Drain on shutdown
+func UseWaived(ctx context.Context, in chan int) {
+	cfh.Drain(in)
+}

@@ -1,0 +1,13 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"zivsim/internal/analysis/analysistest"
+	"zivsim/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, "testdata", goleak.Analyzer,
+		"zivsim/internal/gl", "zivsim/internal/glh", "zivsim/internal/glx")
+}

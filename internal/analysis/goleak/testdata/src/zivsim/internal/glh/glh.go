@@ -1,0 +1,37 @@
+// Package glh is the provider side of goleak's cross-package
+// fixtures: its exported workers' join signals travel to importers as
+// summary facts.
+package glh
+
+import (
+	"context"
+	"sync"
+)
+
+// Worker defers Done on its WaitGroup parameter; the summary records
+// parameter 0 as a Done signal.
+func Worker(wg *sync.WaitGroup, n int) {
+	defer wg.Done()
+	_ = n
+}
+
+// Notify closes its channel parameter on every path.
+func Notify(done chan struct{}) {
+	close(done)
+}
+
+// Pump observes ctx.Done in an exiting select case; the summary marks
+// it ctx-guarded.
+func Pump(ctx context.Context, in <-chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v, ok := <-in:
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package glx is the consumer side of goleak's cross-package
+// fixtures: join evidence for spawned glh workers comes from imported
+// summary facts.
+package glx
+
+import (
+	"context"
+	"sync"
+
+	"zivsim/internal/glh"
+)
+
+// Join spawns the imported worker and waits: clean via the imported
+// Done-parameter summary.
+func Join() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go glh.Worker(&wg, 1)
+	wg.Wait()
+}
+
+// JoinBad spawns the same worker with no Wait.
+func JoinBad() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go glh.Worker(&wg, 1) // want `goroutine has no provable join path`
+}
+
+// Signal receives the close signaled by the imported helper: clean.
+func Signal() {
+	done := make(chan struct{})
+	go glh.Notify(done)
+	<-done
+}
+
+// Cancel relies on the imported worker's ctx-guarded loop: clean.
+func Cancel(ctx context.Context, in <-chan int) {
+	go glh.Pump(ctx, in)
+}
+
+// relay wraps the imported worker; the Done signal composes through
+// the local call so relay's own summary records parameter 0.
+func relay(wg *sync.WaitGroup) {
+	glh.Worker(wg, 2)
+}
+
+// JoinRelay joins through the two-level summary: clean.
+func JoinRelay() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go relay(&wg)
+	wg.Wait()
+}

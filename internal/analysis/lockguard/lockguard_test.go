@@ -1,0 +1,13 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"zivsim/internal/analysis/analysistest"
+	"zivsim/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "testdata", lockguard.Analyzer,
+		"zivsim/internal/lg", "zivsim/internal/lgx")
+}

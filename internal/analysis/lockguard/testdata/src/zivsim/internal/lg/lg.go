@@ -1,0 +1,281 @@
+// Package lg exercises lockguard's annotated-guard discipline: held
+// tracking across branches, defer-held locks, the RWMutex read/write
+// split, the fresh-object exemption, obligation bubbling out of
+// unexported helpers, goroutine entry sets, package-level variable
+// guards, majority inference, and directive parse errors.
+package lg
+
+import "sync"
+
+// Counter is the annotated fixture struct.
+type Counter struct {
+	mu sync.Mutex
+	//ziv:guards(mu)
+	n int
+	//ziv:guards(mu)
+	hist map[string]int
+}
+
+// Inc holds the lock for the write: clean.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// IncBad writes without the lock.
+func (c *Counter) IncBad() {
+	c.n++ // want `write to guarded field n without holding mu`
+}
+
+// IncWaived documents the //ziv:ignore interplay.
+func (c *Counter) IncWaived() {
+	c.n++ //ziv:ignore(lockguard) fixture waiver // want:suppressed `write to guarded field n without holding mu`
+}
+
+// Snapshot holds via defer: a deferred unlock does not release the
+// lock mid-function.
+func (c *Counter) Snapshot() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Either locks around both arms of a branch; the must-join keeps the
+// lock.
+func (c *Counter) Either(b bool) {
+	c.mu.Lock()
+	if b {
+		c.n++
+	} else {
+		c.hist["x"]++
+	}
+	c.mu.Unlock()
+}
+
+// ReleasedBad touches the field again after unlocking.
+func (c *Counter) ReleasedBad() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n-- // want `write to guarded field n without holding mu`
+}
+
+// OneArmBad locks on only one path to the access: the must-join drops
+// the lock.
+func (c *Counter) OneArmBad(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want `write to guarded field n without holding mu`
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+// bump relies on its caller's lock; unexported, so the requirement
+// bubbles to call sites instead of reporting here.
+func (c *Counter) bump(d int) {
+	c.n += d
+}
+
+// Add discharges bump's obligation under the lock: clean.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	c.bump(d)
+	c.mu.Unlock()
+}
+
+// AddBad calls the helper without the lock.
+func (c *Counter) AddBad(d int) {
+	c.bump(d) // want `call to bump requires holding c.mu`
+}
+
+// NewCounter writes and calls helpers on a fresh object nobody else
+// can see yet: no lock needed.
+func NewCounter() *Counter {
+	c := &Counter{hist: map[string]int{}}
+	c.n = 1
+	c.bump(1)
+	return c
+}
+
+// Escape leaks a pointer to a guarded field; no later critical section
+// can be verified through it.
+func (c *Counter) Escape() *int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &c.n // want `address of guarded field n escapes`
+}
+
+// SpawnBad hands a lock-requiring helper to a goroutine: the spawn
+// point's lock is not held when the goroutine runs.
+func (c *Counter) SpawnBad() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go c.bump(1) // want `call to bump requires holding c.mu`
+}
+
+// SpawnLitBad mutates the guarded field from a goroutine body without
+// locking; the literal is analyzed with an empty entry set.
+func (c *Counter) SpawnLitBad() {
+	go func() {
+		c.n++ // want `write to guarded field n without holding mu`
+	}()
+}
+
+// SpawnLit locks inside the goroutine: clean.
+func (c *Counter) SpawnLit() {
+	go func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+}
+
+// Gauge splits readers from writers with an RWMutex.
+type Gauge struct {
+	rw sync.RWMutex
+	//ziv:guards(rw)
+	v int
+}
+
+// Read holds the read lock: clean for reads.
+func (g *Gauge) Read() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.v
+}
+
+// Set holds the write lock: clean for writes.
+func (g *Gauge) Set(x int) {
+	g.rw.Lock()
+	g.v = x
+	g.rw.Unlock()
+}
+
+// SetBad writes under only the read half.
+func (g *Gauge) SetBad(x int) {
+	g.rw.RLock()
+	g.v = x // want `write to guarded field v holding only the read lock rw`
+	g.rw.RUnlock()
+}
+
+// inner nests the guarded pair one level down; the lock identity is
+// the dotted path from the shared root.
+type inner struct {
+	mu sync.Mutex
+	//ziv:guards(mu)
+	q int
+}
+
+type outer struct {
+	in inner
+}
+
+// Deep locks through the chain: clean.
+func (o *outer) Deep() {
+	o.in.mu.Lock()
+	o.in.q++
+	o.in.mu.Unlock()
+}
+
+// DeepBad holds the lock of a different instance.
+func (o *outer) DeepBad(p *outer) {
+	p.in.mu.Lock()
+	o.in.q++ // want `write to guarded field q without holding in.mu`
+	p.in.mu.Unlock()
+}
+
+var tblMu sync.Mutex
+
+// tbl is the package-level registry, guarded by tblMu.
+//
+//ziv:guards(tblMu)
+var tbl = map[string]int{}
+
+// Put locks around the registry write: clean.
+func Put(k string) {
+	tblMu.Lock()
+	tbl[k] = 1
+	tblMu.Unlock()
+}
+
+// PutBad writes the registry without the lock.
+func PutBad(k string) {
+	tbl[k] = 2 // want `write to guarded package variable tbl without holding tblMu`
+}
+
+// reset relies on the caller holding tblMu.
+func reset() {
+	tbl = map[string]int{}
+}
+
+// Clear discharges reset's package-level obligation: clean.
+func Clear() {
+	tblMu.Lock()
+	reset()
+	tblMu.Unlock()
+}
+
+// ClearBad calls reset unlocked.
+func ClearBad() {
+	reset() // want `call to reset requires holding zivsim/internal/lg.tblMu`
+}
+
+// meter has no annotations: the guard relation is inferred from the
+// majority of accesses holding mu.
+type meter struct {
+	mu   sync.Mutex
+	hits int
+}
+
+func (m *meter) tickA() { m.mu.Lock(); m.hits++; m.mu.Unlock() }
+func (m *meter) tickB() { m.mu.Lock(); m.hits++; m.mu.Unlock() }
+func (m *meter) tickC() { m.mu.Lock(); m.hits++; m.mu.Unlock() }
+
+// Leak reads hits unlocked while three other sites lock: reported by
+// majority inference.
+func (m *meter) Leak() int {
+	return m.hits // want `field hits of meter is accessed under mu in 3 other place\(s\) but not here`
+}
+
+// freeform splits accesses evenly: no majority, no report.
+type freeform struct {
+	mu sync.Mutex
+	x  int
+}
+
+// Locked takes the lock.
+func (f *freeform) Locked() {
+	f.mu.Lock()
+	f.x++
+	f.mu.Unlock()
+}
+
+// Free does not; with a single locked site there is no majority.
+func (f *freeform) Free() {
+	f.x++
+}
+
+// Shared is the exported cross-package fixture: importers must follow
+// the same discipline (see zivsim/internal/lgx).
+type Shared struct {
+	Mu sync.Mutex
+	//ziv:guards(Mu)
+	Data map[string]int
+}
+
+// badspec exercises directive parse errors.
+type badspec struct {
+	mu sync.Mutex
+
+	//ziv:guards() // want `empty mutex name`
+	a int
+	//ziv:guards(nosuch) // want `no sibling field named "nosuch"`
+	b int
+	//ziv:guards(a) // want `sibling field "a" is not a sync.Mutex`
+	c int
+	//ziv:guards ill-formed // want `malformed //ziv:guards directive`
+	d int
+}

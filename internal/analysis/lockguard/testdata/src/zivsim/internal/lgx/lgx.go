@@ -1,0 +1,19 @@
+// Package lgx is the consumer side of lockguard's cross-package
+// fixtures: the guard spec of lg.Shared.Data arrives as a fact keyed
+// by the struct's full type name.
+package lgx
+
+import "zivsim/internal/lg"
+
+// Fill holds the exported mutex: clean.
+func Fill(s *lg.Shared) {
+	s.Mu.Lock()
+	s.Data["x"] = 1
+	s.Mu.Unlock()
+}
+
+// FillBad writes the guarded map unlocked; the spec arrived as an
+// imported fact.
+func FillBad(s *lg.Shared) {
+	s.Data["x"] = 1 // want `write to guarded field Data without holding Mu`
+}

@@ -38,7 +38,10 @@
 // updating src's mirror of the same name. Bases match up to
 // intra-function derivation — a handle carved out of the structure
 // (bk := &l.banks[i]) shares l's base — and a bare identifier mention
-// (no selector base) conservatively matches any base.
+// (no selector base) conservatively matches any base. Derivation does
+// not cross ordinary calls: u := t.Peer() makes u its own base, since a
+// helper may hand back a different object entirely. Only the results of
+// declared //ziv:aliases accessors derive from their receiver.
 //
 // Accessor functions that hand out interior pointers declare it:
 //
@@ -492,12 +495,46 @@ func (a *analyzer) collectDerived(body *ast.BlockStmt) {
 			if v == nil {
 				continue
 			}
-			if root := a.rootVar(as.Rhs[i]); root != nil && root != v {
+			if root := a.derivationRoot(as.Rhs[i]); root != nil && root != v {
 				a.derived[v] = root
 			}
 		}
 		return true
 	})
+}
+
+// derivationRoot is rootVar restricted for derivation tracking: a chain
+// that passes through a call derives from the call's receiver only when
+// the callee is a declared //ziv:aliases accessor. An arbitrary helper's
+// return value (t.Peer(), t.clone()) is a fresh base — updating its
+// mirrors must not discharge the receiver's duty.
+func (a *analyzer) derivationRoot(e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if info, ok := a.aliasCall(x); ok {
+				return info.base
+			}
+			return nil
+		case *ast.Ident:
+			return a.objOf(x)
+		default:
+			return nil
+		}
+	}
 }
 
 // aliasOf classifies an expression that yields an interior pointer to a

@@ -18,6 +18,7 @@ type Table struct {
 	tags     []uint64
 	validCnt []int
 	Counters int
+	peer     *Table
 }
 
 // At hands out interior pointers into blocks; writes through the result
@@ -108,6 +109,35 @@ func MoveSync(dst, src *Table, i int) {
 // updates discharge t's write.
 func (t *Table) EvictDerived(i int) {
 	u := t
+	t.blocks[i] = Entry{}
+	u.tags[i] = 0
+	u.validCnt[i/4]--
+}
+
+// Peer hands back the table's partner — a different object, whose
+// sidecars track its own blocks. Deliberately not annotated.
+func (t *Table) Peer() *Table { return t.peer }
+
+// Self returns the receiver as a handle into the same mirrored state.
+//
+//ziv:aliases(blocks)
+func (t *Table) Self() *Table { return t }
+
+// EvictViaPeer updates the partner's sidecars after writing the
+// receiver's primary. Derivation must not cross the unannotated Peer
+// call: u is its own base, so t's duty stays undischarged.
+func (t *Table) EvictViaPeer(i int) {
+	u := t.Peer()
+	t.blocks[i] = Entry{} // want `write to blocks leaves sidecar tags, validCnt stale`
+	u.tags[i] = 0
+	u.validCnt[i/4]--
+}
+
+// EvictViaSelf does the same through the annotated Self accessor:
+// //ziv:aliases declares the result a handle on the receiver, so u's
+// mirror updates discharge t's write.
+func (t *Table) EvictViaSelf(i int) {
+	u := t.Self()
 	t.blocks[i] = Entry{}
 	u.tags[i] = 0
 	u.validCnt[i/4]--

@@ -44,10 +44,15 @@ type checkpointEntry struct {
 // checkpoint is an open journal: the loaded entries of a resumed sweep
 // plus the append handle for the current one.
 type checkpoint struct {
-	mu      sync.Mutex
-	f       *os.File
+	mu sync.Mutex
+	//ziv:guards(mu)
+	f *os.File
+	//ziv:guards(mu)
 	entries map[string]Result
-	broken  bool // a write failed; stop appending (journaling is best-effort)
+	// broken records a failed write; appending stops (journaling is
+	// best-effort).
+	//ziv:guards(mu)
+	broken bool
 }
 
 // checkpointOptionsHash fingerprints the result-affecting option set, the

@@ -185,20 +185,28 @@ type runner struct {
 	// results holds genuinely computed (or cache-/checkpoint-adopted)
 	// Results. Failed and skipped jobs never enter it, so a later runAll
 	// over the same matrix re-attempts them.
+	//ziv:guards(mu)
 	results map[string]Result
 	// failed records jobs that exhausted their attempts, skipped the jobs
 	// a drain prevented, and placeholders the zero-shaped Results that
 	// keep table rendering total for both. get consults them in order.
-	failed       map[string]FailedJob
-	skipped      map[string]bool
+	//ziv:guards(mu)
+	failed map[string]FailedJob
+	//ziv:guards(mu)
+	skipped map[string]bool
+	//ziv:guards(mu)
 	placeholders map[string]Result
 	// completedRuns counts real simulations finished this process (cache
 	// and checkpoint hits excluded); the drain-after fault keys off it.
+	//ziv:guards(mu)
 	completedRuns int
-	cacheHits     int
-	ckptHits      int
+	//ziv:guards(mu)
+	cacheHits int
+	//ziv:guards(mu)
+	ckptHits int
 	// manifest accumulates per-job observability outcomes for the sweep
 	// manifest (obs.go); keyed by artifact stem.
+	//ziv:guards(mu)
 	manifest map[string]manifestRecord
 
 	ckptOnce sync.Once
@@ -207,7 +215,10 @@ type runner struct {
 
 var (
 	runnersMu sync.Mutex
-	runners   = map[Options]*runner{}
+	// runners memoizes one runner per normalized Options value.
+	//
+	//ziv:guards(runnersMu)
+	runners = map[Options]*runner{}
 )
 
 func newRunner(opt Options) *runner {
@@ -333,7 +344,7 @@ func (r *runner) runAll(jobs []job, baseL2 int) {
 		rest := todo[:0]
 		for _, j := range todo {
 			if res, ok := ck.lookup(r.diskKey(j, baseL2)); ok {
-				r.adopt(j, res, &r.ckptHits)
+				r.adopt(j, res, fromCheckpoint)
 				continue
 			}
 			rest = append(rest, j)
@@ -344,7 +355,7 @@ func (r *runner) runAll(jobs []job, baseL2 int) {
 		rest := todo[:0]
 		for _, j := range todo {
 			if res, ok := r.diskLoad(j, baseL2); ok {
-				r.adopt(j, res, &r.cacheHits)
+				r.adopt(j, res, fromCache)
 				continue
 			}
 			rest = append(rest, j)
@@ -489,16 +500,30 @@ func (r *runner) attemptJob(j job, baseL2 int, plan *faultPlan, attempt int) (re
 	return res, o, nil
 }
 
+// adoptSource tells adopt which hit counter a served Result advances.
+type adoptSource int
+
+const (
+	fromCheckpoint adoptSource = iota
+	fromCache
+)
+
 // adopt installs a cache- or checkpoint-served Result and advances the
-// matching hit counter plus the progress line.
-func (r *runner) adopt(j job, res Result, hits *int) {
+// matching hit counter plus the progress line. The counter is selected
+// by kind rather than by pointer so the guarded fields never escape
+// the critical section.
+func (r *runner) adopt(j job, res Result, src adoptSource) {
 	k := r.key(j.cfgLabel, j.mix.Name)
 	r.mu.Lock()
 	r.results[k] = res
 	delete(r.failed, k)
 	delete(r.skipped, k)
 	delete(r.placeholders, k)
-	*hits++
+	if src == fromCheckpoint {
+		r.ckptHits++
+	} else {
+		r.cacheHits++
+	}
 	r.mu.Unlock()
 	if p := r.opt.Progress; p != nil {
 		p.JobDone(j.cost(), 0, true)

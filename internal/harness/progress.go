@@ -18,17 +18,27 @@ type Progress struct {
 	out io.Writer
 	now func() time.Time
 
-	mu         sync.Mutex
-	started    bool
-	start      time.Time
-	last       time.Time
-	totalJobs  int
-	doneJobs   int
+	mu sync.Mutex
+	//ziv:guards(mu)
+	started bool
+	//ziv:guards(mu)
+	start time.Time
+	//ziv:guards(mu)
+	last time.Time
+	//ziv:guards(mu)
+	totalJobs int
+	//ziv:guards(mu)
+	doneJobs int
+	//ziv:guards(mu)
 	failedJobs int
-	cacheHits  int
-	totalWt    int64
-	doneWt     int64
-	refs       uint64
+	//ziv:guards(mu)
+	cacheHits int
+	//ziv:guards(mu)
+	totalWt int64
+	//ziv:guards(mu)
+	doneWt int64
+	//ziv:guards(mu)
+	refs uint64
 }
 
 // NewProgress builds a reporter writing to out, reading wall-clock time

@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // The resilience suite proves the ISSUE acceptance criteria end to end:
@@ -321,6 +323,41 @@ func TestCheckpointOptionsMismatchIgnored(t *testing.T) {
 		t.Error("resume adopted an entry journaled under different options")
 	}
 	other.close()
+}
+
+// TestParallelFaultedSweep drives the whole recovery machinery — fault
+// injection, retry, checkpoint journaling, cache adoption and progress
+// rendering — at elevated parallelism. The rest of the resilience suite
+// stays serial for deterministic interruption points; this test exists
+// for the race detector: eight workers recording checkpoint entries and
+// advancing shared counters concurrently must still produce the same
+// table bytes as a clean serial run.
+func TestParallelFaultedSweep(t *testing.T) {
+	clean, total := cleanFig1Run(t)
+
+	var buf bytes.Buffer
+	o := resilienceOptions()
+	o.Parallelism = 8
+	o.FaultSpec = "panic:" + faultedJob + "@1"
+	o.MaxAttempts = 2
+	o.CheckpointFile = filepath.Join(t.TempDir(), "ck")
+	o.Progress = NewProgress(&buf, func() time.Time { return time.Unix(1000, 0) })
+	ResetMemo()
+	got := fig1Table(t, o)
+
+	if got != clean {
+		t.Errorf("parallel faulted run differs from clean serial run:\nclean:\n%s\nparallel:\n%s", clean, got)
+	}
+	st := Status(o)
+	if len(st.Failed) != 0 {
+		t.Errorf("Failed = %v, want none (attempt 2 succeeds)", st.Failed)
+	}
+	if st.Completed != total {
+		t.Errorf("Completed = %d, want %d", st.Completed, total)
+	}
+	if !strings.Contains(buf.String(), "runs") {
+		t.Error("progress reporter never rendered")
+	}
 }
 
 // TestDrainExpireAbandonsInFlightJob: an expired drain must stop waiting
