@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif lint-baseline lint-stats lint-stats-baseline test race fuzz bench bench-quick bench-compare obs-smoke resume-smoke ci
+.PHONY: all build vet lint lint-sarif lint-baseline lint-stats lint-stats-baseline test race fuzz bench bench-quick bench-compare obs-smoke resume-smoke telemetry-smoke ci
 
 all: ci
 
@@ -89,5 +89,49 @@ resume-smoke:
 	cmp resume-smoke.tmp/clean.csv resume-smoke.tmp/resumed.csv
 	@echo "resume-smoke: resumed sweep is byte-identical to the clean run"
 	rm -rf resume-smoke.tmp
+
+# End-to-end telemetry check (OPERATIONS.md): run a tiny sweep with the
+# full telemetry surface attached — HTTP endpoint on an ephemeral port,
+# run ledger, sweep trace, checkpoint — scrape /healthz and /metrics
+# while the endpoint lingers, stop the linger with a single SIGINT (must
+# still exit 0), then validate every artifact with zivreport. Uses a
+# built binary, not `go run`, because go run collapses exit codes.
+TELEMETRY_SMOKE_FLAGS = -fig fig1 -scale 32 -cores 2 -mixes 2 -homo 0 \
+	-warmup 1000 -refs 4000 -parallel 1 -csv
+
+telemetry-smoke:
+	rm -rf telemetry-smoke.tmp && mkdir -p telemetry-smoke.tmp
+	$(GO) build -o telemetry-smoke.tmp/zivsim ./cmd/zivsim
+	$(GO) build -o telemetry-smoke.tmp/zivreport ./cmd/zivreport
+	./telemetry-smoke.tmp/zivsim $(TELEMETRY_SMOKE_FLAGS) \
+		-telemetry-addr 127.0.0.1:0 -telemetry-linger 60s \
+		-checkpoint telemetry-smoke.tmp/ck \
+		-ledger telemetry-smoke.tmp/run.ndjson \
+		-sweep-trace telemetry-smoke.tmp/sweep.trace.json \
+		> telemetry-smoke.tmp/out.csv 2> telemetry-smoke.tmp/stderr.log & \
+	pid=$$!; \
+	for i in $$(seq 1 300); do \
+		grep -q 'telemetry lingering' telemetry-smoke.tmp/stderr.log 2>/dev/null && break; \
+		sleep 0.2; \
+	done; \
+	grep -q 'telemetry lingering' telemetry-smoke.tmp/stderr.log || { \
+		echo 'telemetry-smoke: sweep never reached the linger phase'; \
+		cat telemetry-smoke.tmp/stderr.log; kill $$pid 2>/dev/null; exit 1; }; \
+	addr=$$(sed -n 's|.*telemetry on http://\([^/]*\)/metrics.*|\1|p' telemetry-smoke.tmp/stderr.log); \
+	curl -sf "http://$$addr/healthz" | grep -q '"ok"' || { \
+		echo 'telemetry-smoke: /healthz did not answer ok'; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf "http://$$addr/metrics" > telemetry-smoke.tmp/metrics.txt || { \
+		echo 'telemetry-smoke: /metrics scrape failed'; kill $$pid 2>/dev/null; exit 1; }; \
+	kill -INT $$pid; wait $$pid; st=$$?; \
+	if [ $$st -ne 0 ]; then \
+		echo "telemetry-smoke: zivsim exited $$st after one interrupt, want 0"; exit 1; fi
+	./telemetry-smoke.tmp/zivreport -checkmetrics telemetry-smoke.tmp/metrics.txt
+	grep -q 'zivsim_sweep_jobs_total{outcome="done"}' telemetry-smoke.tmp/metrics.txt
+	./telemetry-smoke.tmp/zivreport -checktrace telemetry-smoke.tmp/sweep.trace.json
+	./telemetry-smoke.tmp/zivreport -ledger telemetry-smoke.tmp/run.ndjson \
+		> telemetry-smoke.tmp/ledger.md
+	grep -q 'done' telemetry-smoke.tmp/ledger.md
+	@echo "telemetry-smoke: metrics, trace and ledger all validate"
+	rm -rf telemetry-smoke.tmp
 
 ci: build vet lint lint-stats test race

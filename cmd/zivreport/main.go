@@ -7,6 +7,8 @@
 //	zivreport results.txt > results.md
 //	zivreport -obs obsout/I-LRU-256KB-hetero.00.intervals.csv > intervals.md
 //	zivreport -checktrace obsout        # validate every *.trace.json
+//	zivreport -ledger run.ndjson        # summarize a telemetry run ledger
+//	zivreport -checkmetrics metrics.prom # validate a scraped /metrics exposition
 package main
 
 import (
@@ -21,9 +23,21 @@ import (
 func main() {
 	obsCSV := flag.String("obs", "", "render an intervals CSV (from zivsim -obs-interval) as markdown")
 	checkPath := flag.String("checktrace", "", "validate Chrome trace JSON: a file, or a directory of *.trace.json")
+	ledgerPath := flag.String("ledger", "", "summarize a telemetry run ledger (from zivsim -ledger) as markdown")
+	metricsPath := flag.String("checkmetrics", "", "validate a Prometheus text exposition (scraped from zivsim /metrics)")
 	flag.Parse()
 
 	switch {
+	case *ledgerPath != "":
+		if err := ledgerReport(*ledgerPath, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "zivreport:", err)
+			os.Exit(1)
+		}
+	case *metricsPath != "":
+		if err := checkMetrics(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "zivreport:", err)
+			os.Exit(1)
+		}
 	case *obsCSV != "":
 		f, err := os.Open(*obsCSV)
 		if err != nil {

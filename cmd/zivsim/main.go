@@ -14,6 +14,8 @@
 //	zivsim -fig fig1 -obs-interval 5000 -obs-events 4096 -obs-out obsout
 //	                             # per-run Perfetto traces, event dumps, interval CSVs
 //	zivsim -fig all -progress    # live run counter + ETA on stderr
+//	zivsim -fig all -telemetry-addr :9464 -ledger run.ndjson -sweep-trace sweep.trace.json
+//	                             # /metrics + /healthz + pprof, run ledger, sweep timeline
 //	zivsim -config               # print the simulated machine (Table I)
 //
 // Long sweeps are fault-isolated: a panic in one simulation fails that
@@ -32,6 +34,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
@@ -43,6 +46,7 @@ import (
 
 	"zivsim/internal/harness"
 	"zivsim/internal/hierarchy"
+	"zivsim/internal/telemetry"
 )
 
 // Exit codes; documented in OPERATIONS.md and docs/cli.md.
@@ -90,6 +94,10 @@ func run() int {
 		obsOut      = flag.String("obs-out", "obsout", "directory for observability artifacts (trace/NDJSON/CSV)")
 		obsMaxIv    = flag.Int("obs-max-intervals", 4096, "max sampled intervals per run")
 		progress    = flag.Bool("progress", false, "live run progress on stderr")
+		telAddr     = flag.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this address for the duration of the run (empty = off)")
+		telLinger   = flag.Duration("telemetry-linger", 0, "keep the telemetry endpoint serving this long after the sweep finishes (interrupt to stop early)")
+		ledgerPath  = flag.String("ledger", "", "append one NDJSON record per job attempt to this run-ledger file (see zivreport -ledger)")
+		sweepTrace  = flag.String("sweep-trace", "", "write the sweep's per-job lifecycle timeline as Chrome trace JSON to this file")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		traceFile   = flag.String("trace", "", "write a runtime execution trace to this file")
@@ -212,6 +220,71 @@ func run() int {
 		<-sig
 		os.Exit(130)
 	}()
+
+	// Telemetry: metrics registry + HTTP endpoint, per-job spans, run
+	// ledger (see OPERATIONS.md). The server goroutine is spawned and
+	// joined here: its defer runs last (defers are LIFO), so the ledger
+	// is closed and the sweep trace written before the endpoint lingers
+	// and shuts down — a final scrape during -telemetry-linger sees the
+	// finished sweep with all artifacts already on disk.
+	var telReg *telemetry.Registry
+	if *telAddr != "" {
+		telReg = telemetry.NewRegistry()
+		ln, err := net.Listen("tcp", *telAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zivsim: -telemetry-addr: %v\n", err)
+			return exitError
+		}
+		tsrv := telemetry.NewServer(telReg)
+		served := make(chan struct{})
+		go func() {
+			if err := tsrv.Serve(ln); err != nil {
+				fmt.Fprintf(os.Stderr, "zivsim: telemetry server: %v\n", err)
+			}
+			close(served)
+		}()
+		fmt.Fprintf(os.Stderr, "zivsim: telemetry on http://%s/metrics\n", ln.Addr())
+		defer func() {
+			if *telLinger > 0 && !drain.Requested() {
+				fmt.Fprintf(os.Stderr, "zivsim: telemetry lingering %v (interrupt to stop)\n", *telLinger)
+				deadline := time.Now().Add(*telLinger)
+				for time.Now().Before(deadline) && !drain.Requested() {
+					time.Sleep(50 * time.Millisecond)
+				}
+			}
+			tsrv.Close()
+			<-served
+		}()
+	}
+	if telReg != nil || *ledgerPath != "" || *sweepTrace != "" {
+		var telSpans *telemetry.SpanRecorder
+		if *sweepTrace != "" {
+			telSpans = telemetry.NewSpanRecorder(time.Now)
+			path, label := *sweepTrace, "zivsim -fig "+*figID
+			defer func() {
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "zivsim: -sweep-trace: %v\n", err)
+					return
+				}
+				defer f.Close()
+				if err := telSpans.WriteSweepTrace(f, label); err != nil {
+					fmt.Fprintf(os.Stderr, "zivsim: -sweep-trace: %v\n", err)
+				}
+			}()
+		}
+		var telLedger *telemetry.Ledger
+		if *ledgerPath != "" {
+			var err error
+			telLedger, err = telemetry.CreateLedger(*ledgerPath, opt.IdentityHash())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "zivsim: -ledger: %v\n", err)
+				return exitError
+			}
+			defer telLedger.Close()
+		}
+		opt.Telemetry = telemetry.NewSink(time.Now, telReg, telSpans, telLedger)
+	}
 
 	var toRun []harness.Experiment
 	if *figID == "all" {

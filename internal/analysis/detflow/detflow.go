@@ -18,6 +18,9 @@
 //   - arguments of the internal/obs Write* exporters (Chrome trace,
 //     NDJSON, interval CSV) — trace files are replay artifacts, so only
 //     cycle-domain data may reach them;
+//   - arguments of the internal/telemetry Write* exporters (metrics
+//     exposition, sweep trace, run ledger) — telemetry artifacts carry
+//     wall-clock data only via injected clocks, never raw time.Now;
 //   - formatted output (fmt.Print*/Fprint*) — table and golden report
 //     paths must be byte-stable;
 //   - cryptographic digests (sha256.Sum256, hash.Write) — the .zivcache
@@ -644,6 +647,18 @@ func (a *analyzer) callTaint(call *ast.CallExpr, env dataflow.Taint, report bool
 		}
 		return 0
 	}
+	if isTelemetryExporter(fn) {
+		// The telemetry exposition/trace/ledger writers serialize into
+		// scrape- and replay-facing artifacts; nondeterminism reaching
+		// them breaks the byte-stability the sweep trace and ledger
+		// tests pin. Wall-clock time enters telemetry only through
+		// injected clocks (dynamic calls, which stay untainted).
+		for _, arg := range call.Args {
+			m := a.exprTaint(arg, env, false)
+			a.sink(arg.Pos(), m, "a telemetry exporter", report)
+		}
+		return 0
+	}
 
 	if sum, ok := a.lookupSummary(fn); ok {
 		argT := make([]dataflow.Mask, len(effArgs))
@@ -870,6 +885,18 @@ func isObsExporter(fn *types.Func) bool {
 		return false
 	}
 	return strings.HasSuffix(fn.Pkg().Path(), "internal/obs") &&
+		strings.HasPrefix(fn.Name(), "Write")
+}
+
+// isTelemetryExporter matches the exported Write* entry points of the
+// telemetry package (WriteExposition, WriteSweepTrace, WriteRecord):
+// every argument is a telemetry-exporter sink, for the same reason as
+// the obs exporters — the artifacts must be byte-stable under replay.
+func isTelemetryExporter(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "internal/telemetry") &&
 		strings.HasPrefix(fn.Name(), "Write")
 }
 

@@ -14,5 +14,6 @@ func TestDetflow(t *testing.T) {
 		"zivsim/internal/dfb",
 		"zivsim/internal/dfc",
 		"zivsim/internal/obs",
+		"zivsim/internal/telemetry",
 	)
 }

@@ -1,0 +1,46 @@
+// Package telemetry mirrors the telemetry package's exporter shapes for
+// detflow's telemetry-specific sink: arguments of the Write* entry
+// points (matched by import path suffix "internal/telemetry", which
+// this fixture shares with the real package).
+package telemetry
+
+import (
+	"io"
+	"time"
+)
+
+// WriteExposition stands in for the exporters (WriteExposition,
+// WriteSweepTrace, WriteRecord): every argument is a telemetry-exporter
+// sink.
+func WriteExposition(w io.Writer, stamp int64) {
+	_ = w
+	_ = stamp
+}
+
+// Recorder mirrors the injected-clock pattern the real SpanRecorder and
+// Sink use: wall time enters only through the now field.
+type Recorder struct {
+	now func() time.Time
+}
+
+// exportWallClock feeds raw wall-clock time to an exporter: two
+// identical runs would serialize different bytes.
+func exportWallClock(w io.Writer) {
+	WriteExposition(w, time.Now().UnixNano()) // want `value-nondeterministic value flows into a telemetry exporter`
+}
+
+// exportMapOrder serializes a map-order-dependent value.
+func exportMapOrder(w io.Writer, m map[string]int64) {
+	var last int64
+	for _, v := range m {
+		last = v
+	}
+	WriteExposition(w, last) // want `map-order-dependent value flows into a telemetry exporter`
+}
+
+// exportInjectedClock reads time through the injected clock — a dynamic
+// call, which detflow leaves untainted — so the sanctioned telemetry
+// pattern stays clean.
+func exportInjectedClock(w io.Writer, r *Recorder) {
+	WriteExposition(w, r.now().UnixNano())
+}

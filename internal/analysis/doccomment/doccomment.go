@@ -1,7 +1,8 @@
 // Package doccomment enforces the godoc audit of the repository's
-// operational packages: in internal/harness, internal/obs and
-// internal/analysis (the packages OPERATIONS.md and docs/cli.md document
-// against), every exported symbol must carry a doc comment —
+// operational packages: in internal/harness, internal/obs,
+// internal/telemetry and internal/analysis (the packages OPERATIONS.md
+// and docs/cli.md document against), every exported symbol must carry a
+// doc comment —
 //
 //   - the package itself (one package doc comment somewhere in the
 //     package);
@@ -32,7 +33,7 @@ import (
 // Analyzer is the doccomment analysis.
 var Analyzer = &framework.Analyzer{
 	Name: "doccomment",
-	Doc:  "flags undocumented exported symbols in the audited packages (harness, obs, analysis)",
+	Doc:  "flags undocumented exported symbols in the audited packages (harness, obs, telemetry, analysis)",
 	Run:  run,
 }
 
@@ -41,6 +42,7 @@ var Analyzer = &framework.Analyzer{
 var auditedPrefixes = []string{
 	"zivsim/internal/harness",
 	"zivsim/internal/obs",
+	"zivsim/internal/telemetry",
 	"zivsim/internal/analysis",
 }
 

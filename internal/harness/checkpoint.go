@@ -69,6 +69,12 @@ func (o Options) checkpointOptionsHash() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// IdentityHash fingerprints the result-affecting option set (the
+// checkpoint header hash). cmd/zivsim stamps it into the telemetry run
+// ledger's header so a ledger can be matched to the checkpoint and
+// cache entries of the sweep that produced it.
+func (o Options) IdentityHash() string { return o.checkpointOptionsHash() }
+
 // openCheckpoint opens (resume) or creates (fresh) the journal at path.
 // On resume, entries from a matching header are loaded and the file is
 // extended in place; a missing, corrupt or mismatched journal silently

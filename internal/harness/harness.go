@@ -21,6 +21,7 @@ import (
 	"zivsim/internal/hierarchy"
 	"zivsim/internal/metrics"
 	"zivsim/internal/obs"
+	"zivsim/internal/telemetry"
 	"zivsim/internal/trace"
 	"zivsim/internal/workload"
 )
@@ -92,6 +93,12 @@ type Options struct {
 	// drain expires), and every undispatched job is marked skipped. The
 	// CLI wires SIGINT/SIGTERM to it. Excluded from cache keys.
 	Drain *Drain `json:"-"`
+	// Telemetry, when non-nil, receives the sweep's job lifecycle:
+	// metrics, per-job spans and the run ledger (see internal/telemetry).
+	// Like Progress it lives in the wall-clock domain and writes only to
+	// its own outputs, never into results — the telemetry invariance test
+	// pins that — so it is excluded from cache keys.
+	Telemetry *telemetry.Sink `json:"-"`
 }
 
 // DefaultOptions returns laptop-scale settings.
@@ -253,6 +260,7 @@ func (o Options) normalized() Options {
 	o.Resume = false
 	o.FaultSpec = ""
 	o.Drain = nil
+	o.Telemetry = nil
 	return o
 }
 
@@ -329,12 +337,17 @@ func (r *runner) runAll(jobs []job, baseL2 int) {
 	// A sweep that is already draining runs nothing further: later
 	// experiments after an interrupt park their whole matrix as skipped.
 	if drain != nil && drain.Requested() {
-		r.markSkipped(todo)
+		r.markSkipped(todo, baseL2)
 		return
 	}
 	if p := r.opt.Progress; p != nil {
 		for _, j := range todo {
 			p.AddJob(j.cost())
+		}
+	}
+	if t := r.opt.Telemetry; t != nil {
+		for _, j := range todo {
+			t.JobQueued(r.key(j.cfgLabel, j.mix.Name))
 		}
 	}
 	// Checkpoint and disk-cache adoption. Observability artifacts come
@@ -343,8 +356,9 @@ func (r *runner) runAll(jobs []job, baseL2 int) {
 	if ck := r.checkpoint(); ck != nil && r.opt.Obs == nil {
 		rest := todo[:0]
 		for _, j := range todo {
-			if res, ok := ck.lookup(r.diskKey(j, baseL2)); ok {
-				r.adopt(j, res, fromCheckpoint)
+			dk := r.diskKey(j, baseL2)
+			if res, ok := ck.lookup(dk); ok {
+				r.adopt(j, res, fromCheckpoint, dk)
 				continue
 			}
 			rest = append(rest, j)
@@ -355,7 +369,7 @@ func (r *runner) runAll(jobs []job, baseL2 int) {
 		rest := todo[:0]
 		for _, j := range todo {
 			if res, ok := r.diskLoad(j, baseL2); ok {
-				r.adopt(j, res, fromCache)
+				r.adopt(j, res, fromCache, r.diskKey(j, baseL2))
 				continue
 			}
 			rest = append(rest, j)
@@ -411,7 +425,7 @@ func (r *runner) runAll(jobs []job, baseL2 int) {
 		}
 	}
 	if drain != nil && drain.Requested() {
-		r.markSkipped(todo)
+		r.markSkipped(todo, baseL2)
 	}
 	r.flushObsManifest()
 }
@@ -420,14 +434,22 @@ func (r *runner) runAll(jobs []job, baseL2 int) {
 // bounded immediate retry around recovered panics.
 func (r *runner) runJob(j job, baseL2 int, plan *faultPlan) {
 	k := r.key(j.cfgLabel, j.mix.Name)
+	tel := r.opt.Telemetry
+	dk := ""
+	if tel != nil || r.opt.CheckpointFile != "" {
+		dk = r.diskKey(j, baseL2)
+	}
 	attempts := r.opt.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
 	}
+	refs := uint64(j.cfg.Cores) * uint64(r.opt.Warmup+r.opt.Measure)
 	var last FailedJob
 	for a := 1; a <= attempts; a++ {
+		tel.AttemptStart(k, a)
 		res, o, failure := r.attemptJob(j, baseL2, plan, a)
 		if failure == nil {
+			tel.AttemptEnd(k, dk, j.cfgLabel, j.mix.Name, a, telemetry.OutcomeDone, refs, "")
 			r.mu.Lock()
 			r.results[k] = res
 			delete(r.failed, k)
@@ -437,7 +459,8 @@ func (r *runner) runJob(j job, baseL2 int, plan *faultPlan) {
 			n := r.completedRuns
 			r.mu.Unlock()
 			if ck := r.checkpoint(); ck != nil {
-				ck.record(r.diskKey(j, baseL2), j.cfgLabel, j.mix.Name, res)
+				ck.record(dk, j.cfgLabel, j.mix.Name, res)
+				tel.CheckpointRecorded(k)
 			}
 			if r.opt.CacheDir != "" {
 				r.diskStore(j, baseL2, res)
@@ -449,7 +472,7 @@ func (r *runner) runJob(j job, baseL2 int, plan *faultPlan) {
 				r.exportObs(j, o)
 			}
 			if p := r.opt.Progress; p != nil {
-				p.JobDone(j.cost(), uint64(j.cfg.Cores)*uint64(r.opt.Warmup+r.opt.Measure), false)
+				p.JobDone(j.cost(), refs, false)
 			}
 			if plan != nil && plan.drainAfter > 0 && n == plan.drainAfter && r.opt.Drain != nil {
 				r.opt.Drain.Request()
@@ -457,6 +480,11 @@ func (r *runner) runJob(j job, baseL2 int, plan *faultPlan) {
 			return
 		}
 		last = *failure
+		outcome := telemetry.OutcomeRetry
+		if a == attempts {
+			outcome = telemetry.OutcomeFailed
+		}
+		tel.AttemptEnd(k, dk, j.cfgLabel, j.mix.Name, a, outcome, 0, failure.Err)
 	}
 	last.Attempts = attempts
 	r.mu.Lock()
@@ -509,10 +537,11 @@ const (
 )
 
 // adopt installs a cache- or checkpoint-served Result and advances the
-// matching hit counter plus the progress line. The counter is selected
-// by kind rather than by pointer so the guarded fields never escape
-// the critical section.
-func (r *runner) adopt(j job, res Result, src adoptSource) {
+// matching hit counter plus the progress line and telemetry sink. The
+// counter is selected by kind rather than by pointer so the guarded
+// fields never escape the critical section. dk is the job's
+// content-addressed disk key, already computed by the adoption scan.
+func (r *runner) adopt(j job, res Result, src adoptSource, dk string) {
 	k := r.key(j.cfgLabel, j.mix.Name)
 	r.mu.Lock()
 	r.results[k] = res
@@ -528,14 +557,22 @@ func (r *runner) adopt(j job, res Result, src adoptSource) {
 	if p := r.opt.Progress; p != nil {
 		p.JobDone(j.cost(), 0, true)
 	}
+	if t := r.opt.Telemetry; t != nil {
+		outcome := telemetry.OutcomeCacheHit
+		if src == fromCheckpoint {
+			outcome = telemetry.OutcomeCheckpointHit
+		}
+		t.JobAdopted(k, dk, j.cfgLabel, j.mix.Name, outcome)
+	}
 }
 
 // markSkipped records every job of the slice that has neither completed
 // nor failed as skipped by the drain, with a placeholder result so table
-// rendering stays total.
-func (r *runner) markSkipped(jobs []job) {
+// rendering stays total. The telemetry sink is notified outside the
+// critical section (it takes its own locks).
+func (r *runner) markSkipped(jobs []job, baseL2 int) {
+	var telSkipped []job
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for _, j := range jobs {
 		k := r.key(j.cfgLabel, j.mix.Name)
 		if _, done := r.results[k]; done {
@@ -547,6 +584,13 @@ func (r *runner) markSkipped(jobs []job) {
 		r.skipped[k] = true
 		r.placeholders[k] = placeholderResult(j)
 		r.noteObsOutcomeLocked(j, "skipped", nil)
+		telSkipped = append(telSkipped, j)
+	}
+	r.mu.Unlock()
+	if t := r.opt.Telemetry; t != nil {
+		for _, j := range telSkipped {
+			t.JobSkipped(r.key(j.cfgLabel, j.mix.Name), r.diskKey(j, baseL2), j.cfgLabel, j.mix.Name)
+		}
 	}
 }
 

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProgressThrottleBoundary pins the reporter's 5 Hz throttle at its
+// exact edges: a render 199ms after the last one is suppressed, one at
+// 200ms is emitted.
+func TestProgressThrottleBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	clock := time.Unix(1000, 0)
+	p := NewProgress(&buf, func() time.Time { return clock })
+	for i := 0; i < 10; i++ {
+		p.AddJob(1)
+	}
+
+	clock = clock.Add(time.Second)
+	p.JobDone(1, 1000, false) // first render always prints
+	n := buf.Len()
+	if n == 0 {
+		t.Fatal("first JobDone rendered nothing")
+	}
+
+	clock = clock.Add(199 * time.Millisecond)
+	p.JobDone(1, 1000, false)
+	if buf.Len() != n {
+		t.Fatalf("render 199ms after last was not throttled: %q", buf.String()[n:])
+	}
+
+	clock = clock.Add(time.Millisecond) // exactly 200ms since last render
+	p.JobDone(1, 1000, false)
+	if buf.Len() == n {
+		t.Fatal("render 200ms after last was throttled; want ~5 Hz updates")
+	}
+	if !strings.Contains(buf.String(), "3/10 runs") {
+		t.Fatalf("suppressed renders lost state: %q", buf.String())
+	}
+}
+
+// TestProgressJobFailed pins failure accounting: a failed job consumes
+// its scheduled weight (the ETA keeps converging), surfaces a failure
+// segment, and never counts as done.
+func TestProgressJobFailed(t *testing.T) {
+	var buf bytes.Buffer
+	clock := time.Unix(1000, 0)
+	p := NewProgress(&buf, func() time.Time { return clock })
+	for i := 0; i < 4; i++ {
+		p.AddJob(10)
+	}
+
+	clock = clock.Add(2 * time.Second)
+	p.JobDone(10, 50_000, false)
+	clock = clock.Add(2 * time.Second)
+	p.JobFailed(10)
+	out := buf.String()
+	if !strings.Contains(out, "1/4 runs") {
+		t.Fatalf("failed job counted as done: %q", out)
+	}
+	if !strings.Contains(out, "| 1 failed") {
+		t.Fatalf("failure segment missing: %q", out)
+	}
+	// Half the weight is consumed after 4s, so the ETA must read 4s —
+	// proof the failed job's weight feeds the estimate.
+	if !strings.Contains(out, "ETA 4s") {
+		t.Fatalf("failed weight not consumed by ETA: %q", out)
+	}
+
+	// done+failed == total forces the final render through the throttle.
+	clock = clock.Add(time.Millisecond)
+	p.JobDone(10, 50_000, false)
+	clock = clock.Add(time.Millisecond)
+	p.JobFailed(10)
+	out = buf.String()
+	if !strings.Contains(out, "2/4 runs") || !strings.Contains(out, "| 2 failed") {
+		t.Fatalf("terminal render not forced past throttle: %q", out)
+	}
+	if !strings.Contains(out, "ETA 0s") {
+		t.Fatalf("completed sweep ETA = %q, want 0s", out)
+	}
+}
+
+// TestProgressFinish pins Finish semantics: it force-renders the final
+// state and terminates the line with a newline — but stays silent for a
+// sweep that never rendered anything.
+func TestProgressFinish(t *testing.T) {
+	var buf bytes.Buffer
+	clock := time.Unix(1000, 0)
+	p := NewProgress(&buf, func() time.Time { return clock })
+	p.AddJob(1)
+	clock = clock.Add(time.Second)
+	p.JobDone(1, 2_000_000, false)
+	n := buf.Len()
+	clock = clock.Add(10 * time.Millisecond)
+	p.Finish()
+	out := buf.String()
+	if buf.Len() == n {
+		t.Fatal("Finish did not force a final render")
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Finish did not terminate the line: %q", out)
+	}
+	if !strings.Contains(out, "1/1 runs") || !strings.Contains(out, "2.00M refs/s") {
+		t.Fatalf("final state = %q", out)
+	}
+
+	// A reporter with zero jobs renders "0/0 runs | ... ETA 0s" once.
+	buf.Reset()
+	p = NewProgress(&buf, func() time.Time { return clock })
+	p.Finish()
+	if !strings.Contains(buf.String(), "0/0 runs") || !strings.HasSuffix(buf.String(), "\n") {
+		t.Fatalf("empty-sweep Finish = %q", buf.String())
+	}
+}

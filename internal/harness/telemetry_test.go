@@ -1,0 +1,264 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zivsim/internal/telemetry"
+)
+
+// telClock is an injected wall clock advancing 1ms per reading, so
+// every telemetry timestamp and duration is deterministic and nonzero.
+// Atomic: the sink and recorder read it from worker goroutines.
+func telClock() func() time.Time {
+	var ticks atomic.Int64
+	return func() time.Time {
+		n := ticks.Add(1)
+		return time.Unix(1_700_000, 0).Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+// fullSink builds a sink with every output attached, returning the
+// registry, recorder and ledger path for inspection.
+func fullSink(t *testing.T, dir string, opt Options) (*telemetry.Sink, *telemetry.Registry, *telemetry.SpanRecorder, string) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	spans := telemetry.NewSpanRecorder(telClock())
+	path := filepath.Join(dir, "run.ndjson")
+	led, err := telemetry.CreateLedger(path, opt.IdentityHash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { led.Close() })
+	return telemetry.NewSink(telClock(), reg, spans, led), reg, spans, path
+}
+
+// TestTelemetryInvariance proves attaching the full telemetry layer —
+// registry, spans, ledger — does not change a single simulated
+// decision, even while the sweep retries an injected fault: the figure
+// renders byte-identically with telemetry off and on.
+func TestTelemetryInvariance(t *testing.T) {
+	e, ok := ByID("fig1")
+	if !ok {
+		t.Fatal("fig1 not registered")
+	}
+
+	ResetMemo()
+	off := e.Run(obsOptions()).Format()
+
+	ResetMemo()
+	on := obsOptions()
+	on.MaxAttempts = 2
+	on.FaultSpec = "panic:" + faultedJob + "@1"
+	sink, _, _, _ := fullSink(t, t.TempDir(), on)
+	on.Telemetry = sink
+	got := e.Run(on).Format()
+
+	ResetMemo()
+	if got != off {
+		t.Fatalf("telemetry changed simulator output:\n--- off ---\n%s\n--- on ---\n%s", off, got)
+	}
+}
+
+// readCheckpointKeys loads the key set of a checkpoint journal directly
+// (the harness's own loader is package-private to the resume path).
+func readCheckpointKeys(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	keys := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	first := true
+	for sc.Scan() {
+		if first {
+			first = false
+			continue // header
+		}
+		var e struct {
+			Key string `json:"key"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Key == "" {
+			continue
+		}
+		keys[e.Key] = true
+	}
+	return keys
+}
+
+// TestTelemetrySweepLedger runs a faulted, checkpointed sweep with full
+// telemetry and cross-checks every surface against the harness's own
+// records: the ledger's per-job outcomes must match the checkpoint
+// journal exactly, the retry must be visible, the metrics must tally,
+// and the sweep trace must be a valid span timeline.
+func TestTelemetrySweepLedger(t *testing.T) {
+	e, ok := ByID("fig1")
+	if !ok {
+		t.Fatal("fig1 not registered")
+	}
+	dir := t.TempDir()
+
+	ResetMemo()
+	opt := obsOptions()
+	opt.MaxAttempts = 2
+	opt.FaultSpec = "panic:" + faultedJob + "@1"
+	opt.CheckpointFile = filepath.Join(dir, "ck")
+	sink, reg, spans, ledgerPath := fullSink(t, dir, opt)
+	opt.Telemetry = sink
+	e.Run(opt)
+	st := Status(opt)
+	ResetMemo() // closes the checkpoint handle
+
+	if len(st.Failed) != 0 || len(st.Skipped) != 0 {
+		t.Fatalf("faulted sweep did not recover: %+v", st)
+	}
+
+	// Ledger ↔ checkpoint: the set of keys the ledger marked done must
+	// equal the journaled key set, and each done key must be unique.
+	_, recs, err := telemetry.ReadLedger(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneKeys := map[string]bool{}
+	retries := 0
+	for _, rec := range recs {
+		switch rec.Outcome {
+		case telemetry.OutcomeDone:
+			if doneKeys[rec.Key] {
+				t.Fatalf("ledger recorded key %s done twice", rec.Key)
+			}
+			doneKeys[rec.Key] = true
+			if rec.WallUS <= 0 || rec.Refs == 0 {
+				t.Fatalf("done record missing wall/refs: %+v", rec)
+			}
+		case telemetry.OutcomeRetry:
+			retries++
+			if rec.Err == "" {
+				t.Fatalf("retry record carries no error: %+v", rec)
+			}
+		}
+	}
+	ckKeys := readCheckpointKeys(t, opt.CheckpointFile)
+	if len(ckKeys) == 0 {
+		t.Fatal("checkpoint journaled nothing")
+	}
+	if len(doneKeys) != len(ckKeys) {
+		t.Fatalf("ledger done keys = %d, checkpoint keys = %d", len(doneKeys), len(ckKeys))
+	}
+	for k := range ckKeys {
+		if !doneKeys[k] {
+			t.Fatalf("checkpointed key %s missing from ledger", k)
+		}
+	}
+	if retries != 1 {
+		t.Fatalf("ledger recorded %d retries, want 1 (one injected fault)", retries)
+	}
+	if st.Completed != len(doneKeys) {
+		t.Fatalf("harness completed %d jobs, ledger recorded %d", st.Completed, len(doneKeys))
+	}
+
+	// Metrics: the exposition parses, and the counters match the sweep.
+	var expo strings.Builder
+	if err := telemetry.WriteExposition(&expo, reg); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := telemetry.CheckExposition(strings.NewReader(expo.String())); err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, expo.String())
+	}
+	for _, want := range []string{
+		`zivsim_sweep_jobs_total{outcome="done"} ` + strconv.Itoa(st.Completed),
+		"zivsim_sweep_retries_total 1",
+		"zivsim_sweep_jobs_inflight 0",
+		"zivsim_sweep_checkpoint_writes_total " + strconv.Itoa(st.Completed),
+	} {
+		if !strings.Contains(expo.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, expo.String())
+		}
+	}
+
+	// Spans: the sweep trace is a valid timeline with one retry span.
+	var trace strings.Builder
+	if err := spans.WriteSweepTrace(&trace, "test"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(trace.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name]++
+		}
+	}
+	if names["retry 2"] != 1 {
+		t.Fatalf("trace spans = %v, want exactly one 'retry 2'", sortedSpanNames(names))
+	}
+	if names["running"] == 0 || names["queued"] == 0 {
+		t.Fatalf("trace spans = %v, want running and queued phases", sortedSpanNames(names))
+	}
+}
+
+// TestTelemetrySweepDrain pins that a drained sweep records its
+// undispatched jobs as skipped in the ledger.
+func TestTelemetrySweepDrain(t *testing.T) {
+	e, ok := ByID("fig1")
+	if !ok {
+		t.Fatal("fig1 not registered")
+	}
+	dir := t.TempDir()
+
+	ResetMemo()
+	opt := obsOptions()
+	opt.FaultSpec = "drain-after:2"
+	opt.Drain = NewDrain()
+	sink, _, _, ledgerPath := fullSink(t, dir, opt)
+	opt.Telemetry = sink
+	e.Run(opt)
+	st := Status(opt)
+	ResetMemo()
+
+	if len(st.Skipped) == 0 {
+		t.Fatal("drain-after:2 skipped nothing")
+	}
+	_, recs, err := telemetry.ReadLedger(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped := 0
+	for _, rec := range recs {
+		if rec.Outcome == telemetry.OutcomeSkipped {
+			skipped++
+		}
+	}
+	if skipped != len(st.Skipped) {
+		t.Fatalf("ledger recorded %d skips, harness %d", skipped, len(st.Skipped))
+	}
+}
+
+// sortedSpanNames renders a span-name histogram deterministically for
+// failure messages.
+func sortedSpanNames(names map[string]int) []string {
+	var out []string
+	for n, c := range names {
+		out = append(out, n+"×"+strconv.Itoa(c))
+	}
+	sort.Strings(out)
+	return out
+}

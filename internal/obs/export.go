@@ -20,6 +20,7 @@ type traceEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
@@ -32,10 +33,12 @@ type traceFile struct {
 	OtherData       map[string]any `json:"otherData,omitempty"`
 }
 
-// Trace process IDs: cores live under pid 0, LLC banks under pid 1.
+// Trace process IDs: cores live under pid 0, LLC banks under pid 1, and
+// wall-clock sweep timelines (WriteTimeline) under pid 2.
 const (
 	tracePidCores = 0
 	tracePidBanks = 1
+	tracePidSweep = 2
 )
 
 // WriteChromeTrace emits the observer's intervals and events as Chrome
@@ -118,6 +121,91 @@ func WriteChromeTrace(w io.Writer, o *Observer, label string) error {
 		OtherData: map[string]any{
 			"label":    label,
 			"timebase": "1us = 1 simulated cycle",
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// TimelineSpan is one complete ("X") span on a named track of a generic
+// timeline (see WriteTimeline). Timestamps are microseconds since the
+// timeline's own epoch; for the harness's sweep timelines that epoch is
+// wall-clock sweep start, not simulated cycles.
+type TimelineSpan struct {
+	// Track names the Perfetto thread row the span renders on (the
+	// harness uses one track per job key).
+	Track string
+	// Name is the span label ("running", "retry", ...).
+	Name string
+	// StartUS is the span start in microseconds since the timeline epoch.
+	StartUS uint64
+	// DurUS is the span duration in microseconds.
+	DurUS uint64
+	// Args carries optional annotations shown in the Perfetto detail pane.
+	Args map[string]any
+}
+
+// TimelineInstant is one instant ("i") event on a timeline track
+// (checkpoint writes, fault injections, drain requests).
+type TimelineInstant struct {
+	// Track names the row the instant renders on.
+	Track string
+	// Name is the instant label.
+	Name string
+	// TsUS is the event time in microseconds since the timeline epoch.
+	TsUS uint64
+	// Args carries optional annotations.
+	Args map[string]any
+}
+
+// WriteTimeline emits a generic span timeline as Chrome trace_event
+// JSON under the dedicated sweep pid, loadable in Perfetto alongside
+// (or independently of) the cycle-domain traces. Tracks become threads
+// in first-appearance order, spans become complete ("X") events and
+// instants become instant ("i") events. label names the timeline in the
+// trace metadata.
+func WriteTimeline(w io.Writer, label string, spans []TimelineSpan, instants []TimelineInstant) error {
+	tids := map[string]int{}
+	var order []string
+	tidOf := func(track string) int {
+		if id, ok := tids[track]; ok {
+			return id
+		}
+		id := len(order)
+		tids[track] = id
+		order = append(order, track)
+		return id
+	}
+	for _, s := range spans {
+		tidOf(s.Track)
+	}
+	for _, in := range instants {
+		tidOf(in.Track)
+	}
+
+	evs := make([]traceEvent, 0, len(spans)+len(instants)+len(order)+1)
+	evs = append(evs, traceEvent{Name: "process_name", Ph: "M", Pid: tracePidSweep,
+		Args: map[string]any{"name": "sweep"}})
+	for id, track := range order {
+		evs = append(evs, traceEvent{Name: "thread_name", Ph: "M",
+			Pid: tracePidSweep, Tid: id,
+			Args: map[string]any{"name": track}})
+	}
+	for _, s := range spans {
+		evs = append(evs, traceEvent{Name: s.Name, Ph: "X", Ts: s.StartUS, Dur: s.DurUS,
+			Pid: tracePidSweep, Tid: tids[s.Track], Args: s.Args})
+	}
+	for _, in := range instants {
+		evs = append(evs, traceEvent{Name: in.Name, Ph: "i", Ts: in.TsUS, S: "t",
+			Pid: tracePidSweep, Tid: tids[in.Track], Args: in.Args})
+	}
+
+	f := traceFile{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"label":    label,
+			"timebase": "1us = 1 wall-clock microsecond since sweep start",
 		},
 	}
 	enc := json.NewEncoder(w)

@@ -1,0 +1,160 @@
+// Exposition validation. CheckExposition parses a Prometheus
+// text-exposition document the way a scraper would and reports schema
+// violations; `zivreport -checkmetrics` and the CI telemetry-smoke job
+// gate on it, so a malformed /metrics surface fails the build instead
+// of a dashboard.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// validMetricName reports whether name matches the exposition format's
+// metric-name grammar: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// baseName strips the histogram expansion suffixes so _bucket/_sum/
+// _count samples resolve to their declared family.
+func baseName(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// CheckExposition validates a Prometheus text-exposition document read
+// from r: every TYPE declares a known kind, every sample line parses
+// (name, optional balanced label block, float value), and every
+// sample's family was declared by a TYPE line. It returns the number of
+// declared families and parsed samples.
+func CheckExposition(r io.Reader) (families, samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	types := map[string]string{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return 0, 0, fmt.Errorf("line %d: malformed TYPE comment", lineNo)
+			}
+			name, kind := fields[2], fields[3]
+			if !validMetricName(name) {
+				return 0, 0, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return 0, 0, fmt.Errorf("line %d: unknown metric type %q", lineNo, kind)
+			}
+			if _, dup := types[name]; dup {
+				return 0, 0, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			types[name] = kind
+			families++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP and free comments
+		}
+		name, value, perr := parseSample(line)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		if _, ok := types[baseName(name)]; !ok {
+			if _, ok := types[name]; !ok {
+				return 0, 0, fmt.Errorf("line %d: sample %s has no TYPE declaration", lineNo, name)
+			}
+		}
+		if _, perr := strconv.ParseFloat(value, 64); perr != nil {
+			return 0, 0, fmt.Errorf("line %d: bad sample value %q", lineNo, value)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	if families == 0 {
+		return 0, 0, fmt.Errorf("no metric families in exposition")
+	}
+	return families, samples, nil
+}
+
+// parseSample splits one sample line into metric name and value,
+// checking the name grammar and that any label block is balanced and
+// quote-terminated.
+func parseSample(line string) (name, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := labelBlockEnd(rest[i:])
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated label block in %q", line)
+		}
+		rest = rest[i+end+1:]
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", "", fmt.Errorf("sample %q has no value", line)
+		}
+		name, rest = rest[:sp], rest[sp:]
+	}
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" {
+		return "", "", fmt.Errorf("sample %q has no value", line)
+	}
+	// Timestamps ("name value ts") are legal; keep the first token.
+	if sp := strings.IndexByte(value, ' '); sp >= 0 {
+		value = value[:sp]
+	}
+	return name, value, nil
+}
+
+// labelBlockEnd returns the index of the closing '}' of a label block
+// starting at s[0] == '{', honoring quoted values and escapes; -1 if
+// the block never closes.
+func labelBlockEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote && c == '\\':
+			i++ // skip the escaped byte
+		case c == '"':
+			inQuote = !inQuote
+		case !inQuote && c == '}':
+			return i
+		}
+	}
+	return -1
+}
