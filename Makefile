@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif lint-baseline lint-stats lint-stats-baseline test race fuzz bench bench-quick bench-compare obs-smoke resume-smoke telemetry-smoke ci
+.PHONY: all build vet lint lint-sarif lint-baseline lint-stats lint-stats-baseline test race fuzz bench bench-quick bench-compare obs-smoke resume-smoke telemetry-smoke serve-smoke ci
 
 all: ci
 
@@ -133,5 +133,66 @@ telemetry-smoke:
 	grep -q 'done' telemetry-smoke.tmp/ledger.md
 	@echo "telemetry-smoke: metrics, trace and ledger all validate"
 	rm -rf telemetry-smoke.tmp
+
+# End-to-end job-API check (OPERATIONS.md, docs/api.md): start zivsimd on
+# an ephemeral port, submit a tiny sweep over HTTP, poll it to completion,
+# compare the served table against a direct zivsim run of the same
+# options, validate a live /metrics scrape with zivreport -checkmetrics,
+# then SIGTERM the server and require a clean exit 0. Uses built
+# binaries, not `go run`, because go run collapses exit codes.
+SERVE_SMOKE_CLI_FLAGS = -fig fig1 -scale 32 -cores 2 -mixes 2 -homo 0 \
+	-warmup 1000 -refs 4000 -parallel 1
+SERVE_SMOKE_BODY = {"figs":["fig1"],"options":{"scale":32,"cores":2,"hetero_mixes":2,"homo_mixes":0,"warmup":1000,"measure":4000}}
+
+serve-smoke:
+	rm -rf serve-smoke.tmp && mkdir -p serve-smoke.tmp
+	$(GO) build -o serve-smoke.tmp/zivsim ./cmd/zivsim
+	$(GO) build -o serve-smoke.tmp/zivsimd ./cmd/zivsimd
+	$(GO) build -o serve-smoke.tmp/zivreport ./cmd/zivreport
+	./serve-smoke.tmp/zivsim $(SERVE_SMOKE_CLI_FLAGS) \
+		| grep -v '^(fig' > serve-smoke.tmp/direct.txt
+	./serve-smoke.tmp/zivsimd -addr 127.0.0.1:0 -state-dir serve-smoke.tmp/state \
+		2> serve-smoke.tmp/stderr.log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do \
+		grep -q 'serving on' serve-smoke.tmp/stderr.log 2>/dev/null && break; \
+		sleep 0.1; \
+	done; \
+	addr=$$(sed -n 's|.*serving on http://\([^ ]*\).*|\1|p' serve-smoke.tmp/stderr.log); \
+	[ -n "$$addr" ] || { echo 'serve-smoke: server never announced its address'; \
+		cat serve-smoke.tmp/stderr.log; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf -XPOST "http://$$addr/v1/jobs" -d '$(SERVE_SMOKE_BODY)' \
+		> serve-smoke.tmp/submit.json || { \
+		echo 'serve-smoke: submit failed'; kill $$pid 2>/dev/null; exit 1; }; \
+	id=$$(python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])' \
+		< serve-smoke.tmp/submit.json); \
+	for i in $$(seq 1 600); do \
+		curl -sf "http://$$addr/v1/jobs/$$id" > serve-smoke.tmp/job.json; \
+		grep -q '"state":"done"' serve-smoke.tmp/job.json && break; \
+		if grep -Eq '"state":"(failed|canceled)"' serve-smoke.tmp/job.json; then \
+			echo 'serve-smoke: job did not succeed'; cat serve-smoke.tmp/job.json; \
+			kill $$pid 2>/dev/null; exit 1; fi; \
+		sleep 0.2; \
+	done; \
+	grep -q '"state":"done"' serve-smoke.tmp/job.json || { \
+		echo 'serve-smoke: job never finished'; kill $$pid 2>/dev/null; exit 1; }; \
+	python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); sys.stdout.write(d["figures"][0]["text"])' \
+		serve-smoke.tmp/job.json > serve-smoke.tmp/served.txt; \
+	python3 -c 'import sys; a=open(sys.argv[1]).read().rstrip("\n"); b=open(sys.argv[2]).read().rstrip("\n"); sys.exit(0 if a==b else 1)' \
+		serve-smoke.tmp/direct.txt serve-smoke.tmp/served.txt || { \
+		echo 'serve-smoke: served table differs from the direct zivsim run'; \
+		diff serve-smoke.tmp/direct.txt serve-smoke.tmp/served.txt; \
+		kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf "http://$$addr/metrics" > serve-smoke.tmp/metrics.txt || { \
+		echo 'serve-smoke: /metrics scrape failed'; kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; st=$$?; \
+	if [ $$st -ne 0 ]; then \
+		echo "serve-smoke: zivsimd exited $$st after SIGTERM, want 0"; exit 1; fi
+	./serve-smoke.tmp/zivreport -checkmetrics serve-smoke.tmp/metrics.txt
+	grep -q 'zivsimd_jobs_total{state="done"} 1' serve-smoke.tmp/metrics.txt
+	grep -q 'zivsim_sweep_jobs_total{outcome="done"}' serve-smoke.tmp/metrics.txt
+	grep -q 'drained cleanly' serve-smoke.tmp/stderr.log
+	@echo "serve-smoke: job API round-trip, metrics and clean drain all validate"
+	rm -rf serve-smoke.tmp
 
 ci: build vet lint lint-stats test race

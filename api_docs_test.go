@@ -1,0 +1,54 @@
+package zivsim
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"zivsim/internal/server"
+)
+
+const apiDocsPath = "docs/api.md"
+
+// apiHeading matches an endpoint heading in docs/api.md:
+// "### `POST /v1/jobs`".
+var apiHeading = regexp.MustCompile("(?m)^### `((?:GET|POST|PUT|DELETE|PATCH) [^`]+)`$")
+
+// TestAPIDocsInSync holds docs/api.md to the server's route inventory
+// (internal/server.Routes(), the same list Handler builds the mux
+// from): every route must be documented under a heading carrying its
+// exact pattern, and every documented endpoint must exist. Adding,
+// removing or renaming a route without touching the reference fails
+// here.
+func TestAPIDocsInSync(t *testing.T) {
+	raw, err := os.ReadFile(apiDocsPath)
+	if err != nil {
+		t.Fatalf("read %s: %v", apiDocsPath, err)
+	}
+	documented := map[string]bool{}
+	for _, m := range apiHeading.FindAllStringSubmatch(string(raw), -1) {
+		if documented[m[1]] {
+			t.Errorf("%s: endpoint %q documented twice", apiDocsPath, m[1])
+		}
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatalf("%s: no endpoint headings found (expected \"### `METHOD /path`\")", apiDocsPath)
+	}
+
+	inventory := map[string]bool{}
+	for _, rt := range server.Routes() {
+		inventory[rt.Pattern] = true
+		if rt.Doc == "" {
+			t.Errorf("route %q has no inventory description", rt.Pattern)
+		}
+		if !documented[rt.Pattern] {
+			t.Errorf("%s: route %q is served but has no \"### `%s`\" heading", apiDocsPath, rt.Pattern, rt.Pattern)
+		}
+	}
+	for p := range documented {
+		if !inventory[p] {
+			t.Errorf("%s: endpoint %q is documented but not in the route inventory", apiDocsPath, p)
+		}
+	}
+}

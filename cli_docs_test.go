@@ -19,7 +19,7 @@ var updateCLIDocs = flag.Bool("update-cli-docs", false, "rewrite the -help block
 const cliDocsPath = "docs/cli.md"
 
 // cliCommands are the commands documented in docs/cli.md, in file order.
-var cliCommands = []string{"zivsim", "zivbench", "zivreport", "zivlint", "zivtrace"}
+var cliCommands = []string{"zivsim", "zivsimd", "zivbench", "zivreport", "zivlint", "zivtrace"}
 
 // usageLine matches flag's default header, which embeds the temp binary
 // path that `go run` builds ("Usage of /tmp/go-build…/exe/zivsim:").

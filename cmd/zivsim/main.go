@@ -36,16 +36,15 @@ import (
 	"fmt"
 	"net"
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
-	"syscall"
 	"time"
 
 	"zivsim/internal/harness"
 	"zivsim/internal/hierarchy"
+	"zivsim/internal/sigwatch"
 	"zivsim/internal/telemetry"
 )
 
@@ -208,18 +207,8 @@ func run() int {
 	// signal exits immediately with the conventional 130.
 	drain := harness.NewDrain()
 	opt.Drain = drain
-	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() { //ziv:ignore(goleak) process-lifetime signal watcher: lives until exit by design
-		<-sig
-		fmt.Fprintln(os.Stderr, "zivsim: interrupt — draining (in-flight jobs finish; interrupt again to exit now)")
-		drain.Request()
-		if *jobDeadline > 0 {
-			time.AfterFunc(*jobDeadline, drain.Expire)
-		}
-		<-sig
-		os.Exit(130)
-	}()
+	sigwatch.Watch("zivsim: interrupt — draining (in-flight jobs finish; interrupt again to exit now)",
+		*jobDeadline, drain.Expire, drain.Request)
 
 	// Telemetry: metrics registry + HTTP endpoint, per-job spans, run
 	// ledger (see OPERATIONS.md). The server goroutine is spawned and
@@ -286,43 +275,42 @@ func run() int {
 		opt.Telemetry = telemetry.NewSink(time.Now, telReg, telSpans, telLedger)
 	}
 
-	var toRun []harness.Experiment
-	if *figID == "all" {
-		toRun = harness.Experiments()
-	} else {
-		e, ok := harness.ByID(*figID)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "zivsim: unknown experiment %q (see -list)\n", *figID)
-			return exitUsage
-		}
-		toRun = []harness.Experiment{e}
+	if _, err := harness.ResolveFigs([]string{*figID}); err != nil {
+		fmt.Fprintf(os.Stderr, "zivsim: unknown experiment %q (see -list)\n", *figID)
+		return exitUsage
 	}
 
-	experimentPanics := 0
-	for _, e := range toRun {
-		start := time.Now()
-		tab := runExperiment(e, opt)
-		if tab == nil {
-			experimentPanics++
-			continue
-		}
+	// The sweep itself lives in the harness library (RunSweep); this
+	// front end only streams each finished figure to the terminal.
+	start := time.Now()
+	onFigure := func(fr harness.FigureResult) {
 		if prog != nil {
 			prog.Finish()
 		}
-		if drain.Requested() {
-			// The table may hold placeholder zeros for skipped jobs;
-			// don't print partial figures as if they were results.
-			break
+		if fr.Err != "" {
+			fmt.Fprintf(os.Stderr, "zivsim: experiment %s panicked: %v\n", fr.ID, fr.Err)
+			start = time.Now()
+			return
 		}
 		if *csv {
-			fmt.Print(tab.CSV())
+			fmt.Print(fr.Table.CSV())
 		} else {
-			fmt.Print(tab.Format())
-			fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond)) //ziv:ignore(detflow) progress timing, not table content; absent in -csv mode
+			fmt.Print(fr.Table.Format())
+			fmt.Printf("(%s in %v)\n\n", fr.ID, time.Since(start).Round(time.Millisecond))
 		}
+		start = time.Now()
+	}
+	rep, err := harness.RunSweep(harness.Request{
+		Figs:     []string{*figID},
+		Options:  opt,
+		OnFigure: onFigure,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zivsim: %v\n", err)
+		return exitUsage
 	}
 
-	st := harness.Status(opt)
+	st := rep.Status
 	if drain.Requested() {
 		fmt.Fprintf(os.Stderr, "zivsim: interrupted: %d job(s) completed (%d cached, %d from checkpoint), %d failed, %d skipped\n",
 			st.Completed, st.CacheHits, st.CheckpointHits, len(st.Failed), len(st.Skipped))
@@ -334,24 +322,11 @@ func run() int {
 		}
 		return exitInterrupted
 	}
-	if len(st.Failed) > 0 || experimentPanics > 0 {
-		reportFailures(st, experimentPanics)
+	if len(st.Failed) > 0 || rep.Panics() > 0 {
+		reportFailures(st, rep.Panics())
 		return exitFailedJobs
 	}
 	return exitOK
-}
-
-// runExperiment runs one experiment with a panic barrier, so a failure
-// outside the per-job recovery (e.g. in table assembly) is reported and
-// the remaining experiments still run. Returns nil on panic.
-func runExperiment(e harness.Experiment, opt harness.Options) (tab *harness.Table) {
-	defer func() {
-		if p := recover(); p != nil {
-			fmt.Fprintf(os.Stderr, "zivsim: experiment %s panicked: %v\n", e.ID, p)
-			tab = nil
-		}
-	}()
-	return e.Run(opt)
 }
 
 // reportFailures prints the failed-job report: one summary line per job

@@ -42,6 +42,7 @@ var Analyzer = &framework.Analyzer{
 var auditedPrefixes = []string{
 	"zivsim/internal/harness",
 	"zivsim/internal/obs",
+	"zivsim/internal/server",
 	"zivsim/internal/telemetry",
 	"zivsim/internal/analysis",
 }

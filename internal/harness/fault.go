@@ -26,18 +26,18 @@ import (
 // isolation: the configuration label, the mix, and the sweep seed.
 type FailedJob struct {
 	// CfgLabel is the machine-configuration label of the failed job.
-	CfgLabel string
+	CfgLabel string `json:"cfg"`
 	// Mix is the workload-mix name of the failed job.
-	Mix string
+	Mix string `json:"mix"`
 	// Seed is the sweep seed; rerunning the same (config, mix) under it
 	// reproduces the failure deterministically.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Attempts is how many times the job was attempted before giving up.
-	Attempts int
+	Attempts int `json:"attempts"`
 	// Err is the recovered panic value, formatted.
-	Err string
+	Err string `json:"err"`
 	// Stack is the goroutine stack captured at the final failing attempt.
-	Stack string
+	Stack string `json:"stack,omitempty"`
 }
 
 // String renders a one-line summary (the stack is reported separately).

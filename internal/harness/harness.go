@@ -640,17 +640,17 @@ func (r *runner) get(cfgLabel, mixName string) Result {
 type SweepStatus struct {
 	// Completed counts jobs with a real Result, whether simulated this
 	// process or adopted from the disk cache or checkpoint.
-	Completed int
+	Completed int `json:"completed"`
 	// CacheHits counts jobs served by the persistent disk cache.
-	CacheHits int
+	CacheHits int `json:"cache_hits"`
 	// CheckpointHits counts jobs adopted from a resumed checkpoint.
-	CheckpointHits int
+	CheckpointHits int `json:"checkpoint_hits"`
 	// Failed lists jobs that exhausted their attempts, sorted by
 	// (config label, mix).
-	Failed []FailedJob
+	Failed []FailedJob `json:"failed,omitempty"`
 	// Skipped lists the "cfgLabel|mix" keys a drain prevented from
 	// running, sorted.
-	Skipped []string
+	Skipped []string `json:"skipped,omitempty"`
 }
 
 // Status reports the sweep status for an Options value; the zero status
@@ -713,16 +713,16 @@ func max(a, b int) int {
 
 // Table is a rendered experiment result.
 type Table struct {
-	Title   string   // heading printed above the table
-	Columns []string // column headers, one per value in each row
-	Rows    []Row    // labeled data series
-	Notes   []string // free-form footnotes appended after the rows
+	Title   string   `json:"title"`           // heading printed above the table
+	Columns []string `json:"columns"`         // column headers, one per value in each row
+	Rows    []Row    `json:"rows"`            // labeled data series
+	Notes   []string `json:"notes,omitempty"` // free-form footnotes appended after the rows
 }
 
 // Row is one labeled series of values.
 type Row struct {
-	Label  string    // series name, printed in the first column
-	Values []float64 // one value per Table column
+	Label  string    `json:"label"`  // series name, printed in the first column
+	Values []float64 `json:"values"` // one value per Table column
 }
 
 // Format renders the table as aligned text.

@@ -20,13 +20,57 @@ import (
 // multi-minute paper-fidelity runs.
 var jobWallBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
 
+// Event is one job-lifecycle notification delivered to a Sink observer.
+// It is the streaming twin of a ledger Record: zivsimd forwards these to
+// the per-job NDJSON event feed (GET /v1/jobs/{id}/events).
+type Event struct {
+	// Type is the lifecycle step, one of the Event* constants.
+	Type string
+	// Track is the in-sweep job key ("cfgLabel|mix").
+	Track string
+	// Key is the job's content-addressed disk/checkpoint identity
+	// (empty on steps that don't compute it).
+	Key string
+	// Cfg is the job's machine-configuration label.
+	Cfg string
+	// Mix is the job's workload-mix name.
+	Mix string
+	// Attempt is the 1-based attempt number (attempt events only).
+	Attempt int
+	// Outcome is the attempt or adoption outcome (Outcome* constants).
+	Outcome string
+	// Refs is the number of references the attempt simulated.
+	Refs uint64
+	// Err is the recovered panic message for retry/failed outcomes.
+	Err string
+}
+
+// Event types as delivered to a Sink observer.
+const (
+	// EventQueued marks a deduplicated job entering the scheduler.
+	EventQueued = "queued"
+	// EventAttemptStart marks one simulation attempt beginning.
+	EventAttemptStart = "attempt-start"
+	// EventAttemptEnd marks one simulation attempt ending; Outcome is
+	// done, retry or failed.
+	EventAttemptEnd = "attempt-end"
+	// EventAdopted marks a job served without running; Outcome is
+	// cache-hit or checkpoint-hit.
+	EventAdopted = "adopted"
+	// EventSkipped marks a job a drain prevented from running.
+	EventSkipped = "skipped"
+	// EventCheckpoint marks a completed job's checkpoint journal write.
+	EventCheckpoint = "checkpoint"
+)
+
 // Sink receives the runner's job lifecycle and fans it out to the
 // configured outputs. Construct with NewSink; the zero value and the
 // nil pointer are inert.
 type Sink struct {
-	now    func() time.Time
-	spans  *SpanRecorder
-	ledger *Ledger
+	now      func() time.Time
+	spans    *SpanRecorder
+	ledger   *Ledger
+	observer func(Event)
 
 	// Instruments, pre-registered so hot-path increments are pointer
 	// chases, not registry lookups. All nil when no Registry is set.
@@ -95,6 +139,25 @@ func NewSink(now func() time.Time, reg *Registry, spans *SpanRecorder, ledger *L
 	return s
 }
 
+// SetObserver attaches fn to the sink: every lifecycle call is mirrored
+// to it as an Event, after the metric/span/ledger outputs. Attach before
+// handing the sink to a runner — the field is not synchronized, and the
+// runner invokes the observer from its worker goroutines (fn must be
+// safe for concurrent use). A nil fn detaches.
+func (s *Sink) SetObserver(fn func(Event)) {
+	if s == nil {
+		return
+	}
+	s.observer = fn
+}
+
+// emit forwards one event to the observer, if attached.
+func (s *Sink) emit(ev Event) {
+	if s.observer != nil {
+		s.observer(ev)
+	}
+}
+
 // JobQueued records one deduplicated job entering the scheduler.
 func (s *Sink) JobQueued(track string) {
 	if s == nil {
@@ -106,6 +169,7 @@ func (s *Sink) JobQueued(track string) {
 	if s.spans != nil {
 		s.spans.Begin(track, "queued")
 	}
+	s.emit(Event{Type: EventQueued, Track: track})
 }
 
 // AttemptStart records attempt number `attempt` (1-based) beginning on
@@ -131,6 +195,7 @@ func (s *Sink) AttemptStart(track string, attempt int) {
 		}
 		s.spans.Begin(track, phase)
 	}
+	s.emit(Event{Type: EventAttemptStart, Track: track, Attempt: attempt})
 }
 
 // AttemptEnd records the end of an attempt: outcome is OutcomeDone,
@@ -186,6 +251,8 @@ func (s *Sink) AttemptEnd(track, key, cfg, mix string, attempt int, outcome stri
 		WallUS: int64(wall / time.Microsecond), Refs: refs, RefsPerSec: rate,
 		Err: errMsg,
 	})
+	s.emit(Event{Type: EventAttemptEnd, Track: track, Key: key, Cfg: cfg, Mix: mix,
+		Attempt: attempt, Outcome: outcome, Refs: refs, Err: errMsg})
 }
 
 // JobAdopted records a job served without running: outcome is
@@ -201,6 +268,7 @@ func (s *Sink) JobAdopted(track, key, cfg, mix, outcome string) {
 		s.spans.End(track, map[string]any{"outcome": outcome})
 	}
 	s.ledger.WriteRecord(Record{Key: key, Cfg: cfg, Mix: mix, Outcome: outcome})
+	s.emit(Event{Type: EventAdopted, Track: track, Key: key, Cfg: cfg, Mix: mix, Outcome: outcome})
 }
 
 // JobSkipped records a job a drain prevented from running.
@@ -215,6 +283,7 @@ func (s *Sink) JobSkipped(track, key, cfg, mix string) {
 		s.spans.End(track, map[string]any{"outcome": OutcomeSkipped})
 	}
 	s.ledger.WriteRecord(Record{Key: key, Cfg: cfg, Mix: mix, Outcome: OutcomeSkipped})
+	s.emit(Event{Type: EventSkipped, Track: track, Key: key, Cfg: cfg, Mix: mix, Outcome: OutcomeSkipped})
 }
 
 // CheckpointRecorded annotates a completed job's checkpoint journal
@@ -229,6 +298,7 @@ func (s *Sink) CheckpointRecorded(track string) {
 	if s.spans != nil {
 		s.spans.Instant(track, "checkpoint", nil)
 	}
+	s.emit(Event{Type: EventCheckpoint, Track: track})
 }
 
 // Spans exposes the sink's span recorder (nil if spans are disabled),
